@@ -1,0 +1,65 @@
+"""Benchmarks regenerating Figures 17-20 (aggregate server scalability)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_WARMUP, BENCH_WINDOW, emit
+from repro.core.experiments import exp4
+from repro.core.figures import reproduce_figure
+
+FAST = dict(warmup=BENCH_WARMUP, window=BENCH_WINDOW)
+X_BY_SYSTEM = {
+    "mds-giis-all": (10, 100, 200, 300),  # 300 is the crash point
+    "mds-giis-part": (10, 100, 500),
+    "hawkeye-manager": (10, 200, 1000),
+}
+
+
+@pytest.mark.parametrize(
+    "system,servers",
+    [("mds-giis-all", 200), ("mds-giis-part", 500), ("hawkeye-manager", 1000)],
+)
+def test_point_worst_case(benchmark, system, servers):
+    """Time-to-solution of each series' largest surviving point."""
+    result = benchmark.pedantic(
+        lambda: exp4.run_point(system, servers, seed=1, **FAST),
+        rounds=1,
+        iterations=1,
+    )
+    assert not result.crashed
+    benchmark.extra_info["throughput_qps"] = round(result.throughput, 3)
+
+
+def test_figures_17_to_20(benchmark):
+    """Regenerate Figures 17-20 rows (per-series sweep grids, shared runs)."""
+    from repro.core.figures import FIGURES, points_to_series
+    from repro.core.results import Figure
+
+    def run_sets():
+        points = {
+            system: exp4.sweep(system, x_values=X_BY_SYSTEM[system], seed=1, **FAST)
+            for system in exp4.SYSTEMS
+        }
+        figures = []
+        for n in (17, 18, 19, 20):
+            spec = FIGURES[n]
+            fig = Figure(
+                number=n,
+                title=spec.title,
+                xlabel=spec.xlabel,
+                ylabel=spec.title.split(" vs.")[0],
+            )
+            for system, pts in points.items():
+                fig.series.append(points_to_series(system, pts, spec.metric))
+            figures.append(fig)
+        return figures
+
+    figures = benchmark.pedantic(run_sets, rounds=1, iterations=1)
+    for figure in figures:
+        emit(f"figure{figure.number:02d}", figure.to_table())
+    fig17 = figures[0]
+    # Query-all crashes at 300 registered GRIS, exactly as observed.
+    assert 300 in fig17.series_by_label("mds-giis-all").dnf
+    # Nothing aggregates >100 information servers at useful throughput.
+    assert fig17.series_by_label("mds-giis-all").y_at(200) < 1.0
+    assert fig17.series_by_label("hawkeye-manager").y_at(1000) < 1.0
+    assert fig17.series_by_label("mds-giis-part").y_at(500) < 1.0

@@ -1,0 +1,153 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Per the HPC guide ("no optimization without measuring"), these pin down
+the costs that dominate experiment wall time: the DES event loop, the
+virtual-time processor-sharing queue, ClassAd evaluation/matchmaking,
+LDAP filter search and the SQL executor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classad import ClassAd, match_pool, parse_expr
+from repro.hawkeye.advertise import synthesize_startd_ad
+from repro.ldap import DIT, Entry, parse_filter
+from repro.mds.providers import replicated_providers
+from repro.relational import Database
+from repro.sim import ProcessorSharing, Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule/process 20k timeout events."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim):
+            for _ in range(20_000):
+                yield sim.timeout(0.001)
+
+        sim.spawn(ticker(sim))
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 20_000
+
+
+def test_processor_sharing_churn(benchmark):
+    """5k overlapping jobs through one PS queue (O(log n) per event)."""
+
+    def run():
+        sim = Simulator()
+        ps = ProcessorSharing(sim, rate=1.0, servers=2)
+
+        def job(sim, arrival, work):
+            yield sim.timeout(arrival)
+            yield ps.serve(work)
+
+        rng = np.random.default_rng(0)
+        for _ in range(5_000):
+            sim.spawn(job(sim, float(rng.uniform(0, 50)), float(rng.uniform(0.01, 1.0))))
+        sim.run()
+        return ps.snapshot().completed
+
+    completed = benchmark(run)
+    assert completed == 5_000
+
+
+def test_classad_requirements_eval(benchmark):
+    """Evaluate a realistic Requirements expression 2k times."""
+    ad = ClassAd({"Memory": 512, "OpSys": "LINUX", "CpuLoad": 0.4, "Disk": 10_000})
+    expr = parse_expr(
+        'OpSys == "LINUX" && Memory >= 256 && (CpuLoad < 0.5 || Disk > 50000)'
+    )
+    from repro.classad import evaluate
+
+    def run():
+        hits = 0
+        for _ in range(2_000):
+            if evaluate(expr, my=ad) is True:
+                hits += 1
+        return hits
+
+    assert benchmark(run) == 2_000
+
+
+def test_matchmaking_scan_1000_ads(benchmark):
+    """The Exp-4 worst case: constraint scan over 1000 Startd ads."""
+    rng = np.random.default_rng(1)
+    pool = [synthesize_startd_ad(f"m{i}", rng) for i in range(1000)]
+    request = ClassAd()
+    request.set_expr("Requirements", "TARGET.CpuLoad > 50")
+
+    def run():
+        matches, ops = match_pool(request, pool)
+        return len(matches), ops
+
+    matches, ops = benchmark(run)
+    assert matches == 0
+    assert ops >= 1000
+
+
+def test_ldap_subtree_search(benchmark):
+    """Filtered subtree search over a 90-provider GRIS-sized DIT."""
+    dit = DIT()
+    dit.add(Entry("o=grid"))
+    dit.add(Entry("Mds-Vo-name=local, o=grid"), create_parents=True)
+    rng = np.random.default_rng(2)
+    for provider in replicated_providers(90):
+        for entry in provider.produce("lucky7.mcs.anl.gov", rng):
+            dit.upsert(entry)
+    filt = parse_filter("(&(objectclass=MdsMemory)(Mds-Memory-Ram-sizeMB>=100))")
+
+    def run():
+        return len(dit.search("o=grid", filter=filt))
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_sql_indexed_select(benchmark):
+    """Indexed SELECT against a 5k-row buffer table."""
+    db = Database()
+    db.execute("CREATE TABLE cpuLoad (host VARCHAR(32), load1 REAL)")
+    rng = np.random.default_rng(3)
+    for i in range(5_000):
+        db.execute(f"INSERT INTO cpuLoad VALUES ('host{i % 50}', {rng.uniform(0, 2):.3f})")
+    db.table("cpuLoad").create_index("host")
+
+    def run():
+        return len(db.query("SELECT * FROM cpuLoad WHERE host = 'host7'").rows)
+
+    assert benchmark(run) == 100
+
+
+def test_full_stack_rpc_round_trips(benchmark):
+    """1k simulated RPC round trips over the testbed WAN."""
+    from repro.core.params import TestbedParams
+    from repro.core.testbed import build_testbed
+    from repro.sim import Response, Service
+    from repro.sim.rpc import call
+
+    def run():
+        sim = Simulator()
+        tb = build_testbed(sim, TestbedParams(), monitored=())
+
+        def handler(service, request):
+            yield service.host.compute(0.001)
+            return Response(value=None, size=2048)
+
+        service = Service(sim, tb.net, tb.lucky["lucky7"], "echo", handler)
+        done = []
+
+        def client(sim):
+            for _ in range(1_000):
+                yield from call(sim, tb.net, tb.uc[0], service, None)
+            done.append(sim.now)
+
+        sim.spawn(client(sim))
+        sim.run(until=1e6)
+        return len(done)
+
+    assert benchmark(run) == 1

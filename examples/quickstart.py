@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: the three monitoring systems in one small grid.
+
+Builds MDS, R-GMA and Hawkeye over the same five-node "pool", issues
+one equivalent query to each (Table 1's information-server role), and
+then measures one simulated experiment point from the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.classad import ClassAd
+from repro.core.components import render_table1
+from repro.core.experiments import exp1
+from repro.hawkeye import Agent, Manager, make_default_modules
+from repro.mds import GIIS, GRIS, make_default_providers
+from repro.rgma import Consumer, ConsumerServlet, ProducerServlet, Registry, make_default_producers
+
+HOSTS = [f"node{i}.example.org" for i in range(5)]
+
+
+def demo_mds() -> None:
+    print("== MDS: GRIS per host, one GIIS directory ==")
+    giis = GIIS("site-giis", cachettl=float("inf"))
+    for host in HOSTS:
+        gris = GRIS(host, make_default_providers(), cachettl=30.0, seed=hash(host) % 1000)
+
+        def puller(now, gris=gris):
+            result = gris.search(now=now)
+            return result.entries, result.exec_cost
+
+        giis.register(host, puller, now=0.0)
+    result = giis.query("(objectclass=MdsHost)", now=0.0)
+    print(f"  {result.registrants_queried} GRIS aggregated, "
+          f"{len(result.entries)} host entries:")
+    for entry in result.entries[:3]:
+        print(f"    {entry.dn}")
+    print()
+
+
+def demo_rgma() -> None:
+    print("== R-GMA: producers -> servlet -> mediated SQL ==")
+    registry = Registry()
+    servlets = {}
+    for host in HOSTS:
+        servlet = ProducerServlet(f"{host}-ps")
+        for producer in make_default_producers(host, 5, seed=hash(host) % 1000):
+            servlet.attach(producer, registry)
+        servlet.publish_all(now=0.0)
+        servlets[f"{host}-ps"] = servlet
+    consumer_servlet = ConsumerServlet("cs", registry, servlets.__getitem__)
+    consumer = Consumer("alice")
+    consumer_servlet.attach(consumer)
+    answer = consumer.query("SELECT hostName, load1 FROM cpuLoad WHERE load1 >= 0 ORDER BY load1")
+    print(f"  mediated across {len(answer.servlets_contacted)} ProducerServlets:")
+    for row in answer.as_dicts()[:3]:
+        print(f"    {row}")
+    print()
+
+
+def demo_hawkeye() -> None:
+    print("== Hawkeye: agents -> manager, ClassAd query ==")
+    manager = Manager("pool-manager")
+    for i, host in enumerate(HOSTS):
+        agent = Agent(host, make_default_modules(), seed=i)
+        manager.register_agent(agent)
+        ad, _ = agent.make_startd_ad(now=0.0)
+        manager.receive_ad(ad, now=0.0)
+    answer = manager.query("vmstat_CpuLoad >= 0.0 && OpSys == \"LINUX\"")
+    print(f"  {len(answer.ads)} machines matched (scanned {answer.scanned}):")
+    for ad in answer.ads[:3]:
+        print(f"    {ad.get_scalar('Machine')}: CpuLoad={ad.get_scalar('vmstat_CpuLoad')}")
+    print()
+
+
+def demo_experiment() -> None:
+    print("== One simulated experiment point (paper Fig 5) ==")
+    point = exp1.run_point("mds-gris-cache", users=100, seed=1, warmup=5.0, window=20.0)
+    print(f"  GRIS(cache), 100 users: {point.throughput:.1f} queries/s, "
+          f"{point.response_time:.2f} s mean response, CPU {point.cpu_load:.0f}%")
+    print()
+
+
+if __name__ == "__main__":
+    print(render_table1())
+    print()
+    demo_mds()
+    demo_rgma()
+    demo_hawkeye()
+    demo_experiment()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate any figure of the paper as a table and ASCII chart.
+
+Equivalent to the ``repro-figures`` CLI; shown here as library usage.
+
+Run:  python examples/reproduce_figures.py 5         (one figure, ~2 min)
+      python examples/reproduce_figures.py 13 14     (shares sweeps)
+      REPRO_FULL=1 python examples/reproduce_figures.py 5   (600 s windows)
+"""
+
+import sys
+
+from repro.core.figures import FIGURES, reproduce_figure
+
+
+def main(argv: list[str]) -> int:
+    numbers = [int(a) for a in argv] or [13]
+    for number in numbers:
+        if number not in FIGURES:
+            print(f"no figure {number}; valid: {sorted(FIGURES)}")
+            return 2
+    cache: dict = {}
+    for number in numbers:
+        figure = reproduce_figure(number, seed=1, sweep_cache=cache)
+        print(figure.to_table())
+        print()
+        print(figure.to_ascii_chart())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

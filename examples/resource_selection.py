@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Resource selection with MDS — the use case MDS was built for.
+
+"MDS is primarily used to address the resource selection problem,
+namely, how does a user identify the host or set of hosts on which to
+run an application?" (paper §2.1).
+
+This example stands up a two-level MDS hierarchy (site GIIS over
+per-host GRIS, topped by a VO GIIS), then selects hosts for a job that
+needs >= 256 MB of free memory and a Linux kernel, using one LDAP
+search against the top of the hierarchy.
+
+Run:  python examples/resource_selection.py
+"""
+
+from repro.ldap import parse_filter
+from repro.mds import GIIS, GRIS, make_default_providers
+
+SITES = {
+    "anl": [f"lucky{i}.mcs.anl.gov" for i in (0, 1, 3, 4)],
+    "uc": [f"grid{i}.cs.uchicago.edu" for i in range(3)],
+}
+
+
+def build_hierarchy() -> GIIS:
+    """Per-host GRIS -> per-site GIIS -> VO GIIS (Figure 1 of the paper)."""
+    vo_giis = GIIS("vo-giis", cachettl=float("inf"))
+    for site, hosts in SITES.items():
+        site_giis = GIIS(f"{site}-giis", cachettl=60.0)
+        for host in hosts:
+            gris = GRIS(host, make_default_providers(), cachettl=30.0,
+                        seed=abs(hash(host)) % 100_000)
+
+            def puller(now, gris=gris):
+                result = gris.search(now=now)
+                return result.entries, result.exec_cost
+
+            site_giis.register(host, puller, now=0.0)
+        # The site GIIS registers into the VO GIIS: hierarchy is recursive.
+        vo_giis.register(site, site_giis.as_puller(), now=0.0)
+    return vo_giis
+
+
+def select_resources(giis: GIIS, min_free_mb: int) -> list[str]:
+    """One aggregate query answers the resource-selection question."""
+    filt = parse_filter(
+        f"(&(objectclass=MdsMemory)(Mds-Memory-Ram-sizeMB>={min_free_mb}))"
+    )
+    result = giis.query(filt, now=1.0)
+    hosts = []
+    for entry in result.entries:
+        # The host name is the second RDN of the device DN.
+        host = entry.dn.rdns[1].value
+        free = entry.first("Mds-Memory-Ram-sizeMB")
+        hosts.append((host, int(free)))
+    hosts.sort(key=lambda pair: -pair[1])
+    print(f"hosts with >= {min_free_mb} MB free (best first):")
+    for host, free in hosts:
+        print(f"  {host:28s} {free:4d} MB")
+    return [h for h, _f in hosts]
+
+
+if __name__ == "__main__":
+    giis = build_hierarchy()
+    print(f"VO GIIS aggregates {giis.registrant_count} site directories\n")
+    chosen = select_resources(giis, min_free_mb=256)
+    print(f"\nscheduling decision: run on {chosen[0]}" if chosen else "\nno host qualifies")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""R-GMA's push model: subscribe to a data stream, get notified.
+
+"a user can subscribe to a load-data data stream, and create a new
+Producer/Consumer pairing to allow notification when the load reaches
+some maximum or minimum" (paper §2.2).
+
+This example publishes a cpuLoad stream from three producers and shows
+two continuous queries: a threshold alarm and a per-host watch.  It
+also contrasts the pull path (one-shot mediated SQL) with the push path
+over the same data — the §3.7 pull/push discussion.
+
+Run:  python examples/streaming_consumer.py
+"""
+
+from repro.rgma import (
+    Consumer,
+    ConsumerServlet,
+    Producer,
+    ProducerServlet,
+    Registry,
+    StreamBroker,
+)
+
+
+def main() -> None:
+    registry = Registry()
+    servlet = ProducerServlet("site-ps")
+    broker = StreamBroker()
+    producers = [
+        Producer(f"host{i}/cpu", "cpuLoad", f"host{i}.example.org", seed=i)
+        for i in range(3)
+    ]
+    for producer in producers:
+        servlet.attach(producer, registry)
+
+    # --- push: continuous queries ------------------------------------------
+    alarms: list[dict] = []
+    watch: list[dict] = []
+    broker.subscribe(
+        "load-alarm",
+        "SELECT hostName, load1 FROM cpuLoad WHERE load1 > 1.6",
+        alarms.append,
+    )
+    broker.subscribe(
+        "host0-watch",
+        "SELECT timestamp, load1 FROM cpuLoad WHERE hostName = 'host0.example.org'",
+        watch.append,
+    )
+
+    print("publishing 10 measurement rounds...")
+    for tick in range(10):
+        now = float(tick * 30)
+        for producer in producers:
+            row = producer.measure(now)
+            servlet.publish(producer.producer_id, now)  # buffered for pull
+            broker.publish("cpuLoad", row)  # pushed to subscribers
+
+    print(f"\nload alarms fired ({len(alarms)}):")
+    for alarm in alarms[:5]:
+        print(f"  {alarm['hostName']}: load1={alarm['load1']}")
+    print(f"host0 watch received {len(watch)} updates")
+
+    # --- pull: one-shot mediated SQL over the same data ----------------------
+    consumer_servlet = ConsumerServlet("cs", registry, {"site-ps": servlet}.__getitem__)
+    consumer = Consumer("bob")
+    consumer_servlet.attach(consumer)
+    answer = consumer.query(
+        "SELECT hostName, load1 FROM cpuLoad WHERE timestamp >= 240 ORDER BY load1 DESC LIMIT 3"
+    )
+    print("\npull query (latest rounds, 3 hottest hosts):")
+    for row in answer.as_dicts():
+        print(f"  {row}")
+    print(f"\nbroker stats: {broker.published} tuples published, "
+          f"{broker.deliveries} deliveries to {broker.subscription_count} subscriptions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the environment has setuptools 65 but no `wheel` package, which the
+PEP 660 editable path requires)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro — reproduction of Zhang, Freschl & Schopf, HPDC 2003.
+
+"A Performance Study of Monitoring and Information Services for
+Distributed Systems" rebuilt as a Python library: functional
+re-implementations of MDS 2.1, R-GMA and Hawkeye running on a
+deterministic discrete-event simulation of the original Lucky/UC
+testbed, plus the full experiment harness regenerating Figures 5-20.
+
+Quickstart::
+
+    from repro.core.experiments import exp1
+
+    result = exp1.run_point(system="mds-gris-cache", users=100, seed=1)
+    print(result.throughput, result.response_time)
+
+See README.md for the architecture tour and EXPERIMENTS.md for the
+paper-vs-measured comparison of every figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

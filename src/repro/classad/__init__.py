@@ -1,0 +1,40 @@
+"""ClassAd substrate: the expression language beneath Condor/Hawkeye.
+
+Implements old-ClassAds semantics — three-valued logic with UNDEFINED
+and ERROR, MY/TARGET scoping, bilateral matchmaking — plus an indexed
+collector, standing in for the Condor libraries the paper's Hawkeye
+deployment used (DESIGN.md §2).
+"""
+
+from repro.classad.ads import ClassAd
+from repro.classad.ast import AttrRef, BinaryOp, Expr, FuncCall, Literal, UnaryOp
+from repro.classad.collector import AdCollector, QueryOutcome
+from repro.classad.evaluator import Evaluation, evaluate
+from repro.classad.matchmaker import MatchResult, match, match_pool, rank
+from repro.classad.parser import parse_expr
+from repro.classad.values import ERROR, UNDEFINED, Error, Undefined, Value, is_scalar
+
+__all__ = [
+    "ClassAd",
+    "Expr",
+    "Literal",
+    "AttrRef",
+    "UnaryOp",
+    "BinaryOp",
+    "FuncCall",
+    "parse_expr",
+    "evaluate",
+    "Evaluation",
+    "match",
+    "rank",
+    "match_pool",
+    "MatchResult",
+    "AdCollector",
+    "QueryOutcome",
+    "UNDEFINED",
+    "ERROR",
+    "Undefined",
+    "Error",
+    "Value",
+    "is_scalar",
+]

@@ -1,0 +1,97 @@
+"""Abstract syntax tree nodes for ClassAd expressions."""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.classad.values import Value, value_repr
+
+__all__ = ["Expr", "Literal", "AttrRef", "UnaryOp", "BinaryOp", "FuncCall"]
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+    def complexity(self) -> int:
+        """Node count — drives the evaluation cost models in the study."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant (int, real, string, bool, UNDEFINED or ERROR)."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return value_repr(self.value)
+
+    def complexity(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class AttrRef(Expr):
+    """An attribute reference, optionally scoped: ``MY.attr``/``TARGET.attr``.
+
+    ``scope`` is ``None``, ``"my"`` or ``"target"``; lookup is
+    case-insensitive.
+    """
+
+    name: str
+    scope: str | None = None
+
+    def __str__(self) -> str:
+        if self.scope:
+            return f"{self.scope.upper()}.{self.name}"
+        return self.name
+
+    def complexity(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``-x`` or ``!x``."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+    def complexity(self) -> int:
+        return 1 + self.operand.complexity()
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """An infix operation (arithmetic, comparison, boolean, =?=, =!=)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+    def complexity(self) -> int:
+        return 1 + self.left.complexity() + self.right.complexity()
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A builtin function call, e.g. ``ifThenElse(c, a, b)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+    def complexity(self) -> int:
+        return 1 + sum(a.complexity() for a in self.args)

@@ -1,0 +1,160 @@
+"""An indexed resident database of ClassAds (the Condor *collector*).
+
+The Hawkeye Manager "collects and stores (in an indexed resident
+database) monitoring information from each Agent" (paper §2.3).  This
+collector keeps the latest ad per name, maintains hash indexes over
+chosen attributes for O(1) equality lookups, and supports constraint
+queries that fall back to a full matchmaking scan — reporting the scan
+cost so the simulation can charge for it.
+
+Soft state: each ad carries a deadline; :meth:`expire` sweeps ads whose
+lease lapsed (Condor's 15-minute ClassAd lifetime by default).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.classad.ads import ClassAd
+from repro.classad.matchmaker import match_pool
+from repro.classad.parser import parse_expr
+from repro.classad.values import is_scalar
+
+__all__ = ["AdCollector", "QueryOutcome"]
+
+DEFAULT_LIFETIME = 900.0  # Condor's classad lifetime: 15 minutes
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Constraint-query result plus its evaluation cost."""
+
+    ads: list[ClassAd]
+    scanned: int
+    ops: int
+    index_hit: bool
+
+
+class AdCollector:
+    """Latest-ad-per-name store with equality indexes and constraint scans."""
+
+    def __init__(self, indexed_attrs: _t.Sequence[str] = ("Name", "Machine")) -> None:
+        self._ads: dict[str, ClassAd] = {}
+        self._expiry: dict[str, float] = {}
+        self._indexed = tuple(a.lower() for a in indexed_attrs)
+        self._index: dict[tuple[str, _t.Any], set[str]] = {}
+        self.updates = 0
+        self.expired_total = 0
+
+    # -- updates --------------------------------------------------------------
+    def advertise(self, ad: ClassAd, now: float = 0.0, lifetime: float = DEFAULT_LIFETIME) -> str:
+        """Insert or replace the ad keyed by its ``Name`` attribute."""
+        name = ad.get_scalar("Name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("ClassAd must carry a string Name attribute to be advertised")
+        key = name.lower()
+        if key in self._ads:
+            self._unindex(key, self._ads[key])
+        self._ads[key] = ad
+        self._expiry[key] = now + lifetime
+        self._reindex(key, ad)
+        self.updates += 1
+        return key
+
+    def remove(self, name: str) -> bool:
+        """Drop the ad named ``name``; returns whether it existed."""
+        key = name.lower()
+        ad = self._ads.pop(key, None)
+        if ad is None:
+            return False
+        self._expiry.pop(key, None)
+        self._unindex(key, ad)
+        return True
+
+    def expire(self, now: float) -> int:
+        """Sweep ads whose lease has lapsed; returns how many were dropped."""
+        stale = [k for k, deadline in self._expiry.items() if deadline <= now]
+        for key in stale:
+            self.remove(key)
+        self.expired_total += len(stale)
+        return len(stale)
+
+    def _reindex(self, key: str, ad: ClassAd) -> None:
+        for attr in self._indexed:
+            value = ad.get_scalar(attr)
+            if is_scalar(value) and value is not None:
+                self._index.setdefault((attr, _norm(value)), set()).add(key)
+
+    def _unindex(self, key: str, ad: ClassAd) -> None:
+        for attr in self._indexed:
+            value = ad.get_scalar(attr)
+            if is_scalar(value) and value is not None:
+                bucket = self._index.get((attr, _norm(value)))
+                if bucket:
+                    bucket.discard(key)
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ads)
+
+    def get(self, name: str) -> ClassAd | None:
+        """Indexed O(1) lookup by Name."""
+        return self._ads.get(name.lower())
+
+    def ads(self) -> list[ClassAd]:
+        """Every resident ad (insertion order)."""
+        return list(self._ads.values())
+
+    def lookup_equal(self, attr: str, value: _t.Any) -> list[ClassAd]:
+        """O(1) equality lookup when ``attr`` is indexed, else a scan."""
+        attr_l = attr.lower()
+        if attr_l in self._indexed:
+            keys = self._index.get((attr_l, _norm(value)), set())
+            return [self._ads[k] for k in sorted(keys)]
+        return [ad for ad in self._ads.values() if _norm(ad.get_scalar(attr)) == _norm(value)]
+
+    def query(self, constraint: str) -> QueryOutcome:
+        """Return ads satisfying ``constraint`` (a ClassAd boolean expr).
+
+        Simple ``Attr == "value"`` constraints on indexed attributes take
+        the index path; everything else performs a full matchmaking scan
+        whose cost is reported in the outcome.
+        """
+        indexed = self._try_index_path(constraint)
+        if indexed is not None:
+            return QueryOutcome(ads=indexed, scanned=len(indexed), ops=len(indexed), index_hit=True)
+        request = ClassAd({"MyType": "Query"})
+        request.set_expr("Requirements", constraint)
+        matches, ops = match_pool(request, self._ads.values())
+        return QueryOutcome(
+            ads=[ad for _rank, ad in matches],
+            scanned=len(self._ads),
+            ops=ops,
+            index_hit=False,
+        )
+
+    def _try_index_path(self, constraint: str) -> list[ClassAd] | None:
+        from repro.classad.ast import AttrRef, BinaryOp, Literal
+
+        try:
+            expr = parse_expr(constraint)
+        except Exception:
+            return None
+        if (
+            isinstance(expr, BinaryOp)
+            and expr.op == "=="
+            and isinstance(expr.left, AttrRef)
+            and expr.left.scope is None
+            and isinstance(expr.right, Literal)
+            and expr.left.name.lower() in self._indexed
+        ):
+            return self.lookup_equal(expr.left.name, expr.right.value)
+        return None
+
+
+def _norm(value: _t.Any) -> _t.Any:
+    """Index normalization: case-insensitive strings, bool≠int preserved."""
+    if isinstance(value, str):
+        return value.lower()
+    return value

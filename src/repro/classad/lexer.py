@@ -1,0 +1,101 @@
+"""Tokenizer for the old-ClassAds expression language."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ClassAdSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+
+class Token(_t.NamedTuple):
+    """One lexical token: a kind tag, its text, and its source offset."""
+
+    kind: str  # INT REAL STRING IDENT OP EOF
+    text: str
+    pos: int
+
+
+# Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = [
+    "=?=", "=!=",
+    "==", "!=", "<=", ">=", "&&", "||",
+    "<", ">", "+", "-", "*", "/", "%", "!", "(", ")", ",", ".", "=",
+]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert an expression string into tokens (ending with EOF).
+
+    Raises :class:`ClassAdSyntaxError` on unterminated strings or
+    unrecognized characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            out: list[str] = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    nxt = text[j + 1]
+                    out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(nxt, nxt))
+                    j += 2
+                    continue
+                out.append(text[j])
+                j += 1
+            if j >= n:
+                raise ClassAdSyntaxError(f"unterminated string starting at {i} in {text!r}")
+            tokens.append(Token("STRING", "".join(out), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # A dot not followed by a digit is the scope operator.
+                    if j + 1 < n and text[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif c in "eE" and (j + 1 < n and (text[j + 1].isdigit() or text[j + 1] in "+-")) and not seen_exp:
+                    seen_exp = True
+                    j += 2 if text[j + 1] in "+-" else 1
+                else:
+                    break
+            literal = text[i:j]
+            kind = "REAL" if ("." in literal or "e" in literal or "E" in literal) else "INT"
+            tokens.append(Token(kind, literal, i))
+            i = j
+            continue
+        if ch in _IDENT_START:
+            j = i
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], i))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                break
+        else:
+            raise ClassAdSyntaxError(f"unexpected character {ch!r} at {i} in {text!r}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,173 @@
+"""Recursive-descent parser for ClassAd expressions.
+
+Grammar (precedence low → high), matching old ClassAds::
+
+    expr    := or
+    or      := and ( '||' and )*
+    and     := cmp ( '&&' cmp )*
+    cmp     := add ( ('=='|'!='|'<'|'<='|'>'|'>='|'=?='|'=!=') add )*
+    add     := mul ( ('+'|'-') mul )*
+    mul     := unary ( ('*'|'/'|'%') unary )*
+    unary   := ('-'|'+'|'!') unary | primary
+    primary := literal | ref | func '(' args ')' | '(' expr ')'
+    ref     := [ ('MY'|'TARGET') '.' ] IDENT
+"""
+
+from __future__ import annotations
+
+from repro.classad.ast import AttrRef, BinaryOp, Expr, FuncCall, Literal, UnaryOp
+from repro.classad.lexer import Token, tokenize
+from repro.classad.values import ERROR, UNDEFINED
+from repro.errors import ClassAdSyntaxError
+
+__all__ = ["parse_expr"]
+
+_KEYWORD_LITERALS = {
+    "true": Literal(True),
+    "false": Literal(False),
+    "undefined": Literal(UNDEFINED),
+    "error": Literal(ERROR),
+}
+
+_CMP_OPS = {"==", "!=", "<", "<=", ">", ">=", "=?=", "=!="}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        token = self.peek()
+        if token.kind != "OP" or token.text != op:
+            raise ClassAdSyntaxError(
+                f"expected {op!r} at {token.pos}, got {token.text!r} in {self.text!r}"
+            )
+        self.advance()
+
+    def at_op(self, *ops: str) -> bool:
+        token = self.peek()
+        return token.kind == "OP" and token.text in ops
+
+    # -- grammar --------------------------------------------------------------
+    def parse(self) -> Expr:
+        node = self.parse_or()
+        token = self.peek()
+        if token.kind != "EOF":
+            raise ClassAdSyntaxError(
+                f"trailing input at {token.pos}: {token.text!r} in {self.text!r}"
+            )
+        return node
+
+    def parse_or(self) -> Expr:
+        node = self.parse_and()
+        while self.at_op("||"):
+            self.advance()
+            node = BinaryOp("||", node, self.parse_and())
+        return node
+
+    def parse_and(self) -> Expr:
+        node = self.parse_cmp()
+        while self.at_op("&&"):
+            self.advance()
+            node = BinaryOp("&&", node, self.parse_cmp())
+        return node
+
+    def parse_cmp(self) -> Expr:
+        node = self.parse_add()
+        while self.at_op(*_CMP_OPS):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.parse_add())
+        return node
+
+    def parse_add(self) -> Expr:
+        node = self.parse_mul()
+        while self.at_op("+", "-"):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.parse_mul())
+        return node
+
+    def parse_mul(self) -> Expr:
+        node = self.parse_unary()
+        while self.at_op("*", "/", "%"):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> Expr:
+        if self.at_op("-", "!", "+"):
+            op = self.advance().text
+            operand = self.parse_unary()
+            if op == "+":
+                return operand
+            return UnaryOp(op, operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "INT":
+            self.advance()
+            return Literal(int(token.text))
+        if token.kind == "REAL":
+            self.advance()
+            return Literal(float(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.text)
+        if token.kind == "IDENT":
+            return self.parse_ident()
+        if token.kind == "OP" and token.text == "(":
+            self.advance()
+            node = self.parse_or()
+            self.expect_op(")")
+            return node
+        raise ClassAdSyntaxError(
+            f"unexpected token {token.text!r} at {token.pos} in {self.text!r}"
+        )
+
+    def parse_ident(self) -> Expr:
+        token = self.advance()
+        lowered = token.text.lower()
+        if lowered in _KEYWORD_LITERALS:
+            return _KEYWORD_LITERALS[lowered]
+        # Scoped reference: MY.attr / TARGET.attr
+        if lowered in ("my", "target") and self.at_op("."):
+            self.advance()
+            attr = self.peek()
+            if attr.kind != "IDENT":
+                raise ClassAdSyntaxError(
+                    f"expected attribute after {token.text}. at {attr.pos} in {self.text!r}"
+                )
+            self.advance()
+            return AttrRef(attr.text, scope=lowered)
+        # Function call
+        if self.at_op("("):
+            self.advance()
+            args: list[Expr] = []
+            if not self.at_op(")"):
+                args.append(self.parse_or())
+                while self.at_op(","):
+                    self.advance()
+                    args.append(self.parse_or())
+            self.expect_op(")")
+            return FuncCall(lowered, tuple(args))
+        return AttrRef(token.text)
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a ClassAd expression string into an AST.
+
+    Raises :class:`~repro.errors.ClassAdSyntaxError` on bad input.
+    """
+    if not text.strip():
+        raise ClassAdSyntaxError("empty expression")
+    return _Parser(text).parse()

@@ -1,0 +1,49 @@
+"""The study harness — the paper's primary contribution, reproduced.
+
+``repro.core`` turns the three functional systems plus the simulated
+testbed into the benchmark methodology of the paper:
+
+* :mod:`repro.core.components` — Table 1's component/role mapping;
+* :mod:`repro.core.params` — calibrated cost models (see DESIGN.md §2);
+* :mod:`repro.core.testbed` — the Lucky/UC topology;
+* :mod:`repro.core.workload` — blocking closed-loop users, 1 s waits;
+* :mod:`repro.core.metrics` — throughput/response/load/load1 estimators;
+* :mod:`repro.core.services` — each component as a simulated service;
+* :mod:`repro.core.runner` — per-point orchestration;
+* :mod:`repro.core.experiments` — the four experiment sets (§3.3-§3.6);
+* :mod:`repro.core.figures` — Figures 5-20 registry and CLI;
+* :mod:`repro.core.results` — series/figure containers and renderers.
+"""
+
+from repro.core.components import COMPONENT_MAPPING, Role, System, component_for
+from repro.core.metrics import MetricsSummary, RequestLog, summarize
+from repro.core.params import StudyParams, default_params, measurement_window
+from repro.core.replication import ReplicateStat, replicate_point, summarize_replicates
+from repro.core.results import Figure, Series
+from repro.core.runner import PointResult, ScenarioRun, drive, new_run
+from repro.core.testbed import LUCKY_NAMES, Testbed, build_testbed
+
+__all__ = [
+    "Role",
+    "System",
+    "COMPONENT_MAPPING",
+    "component_for",
+    "StudyParams",
+    "default_params",
+    "measurement_window",
+    "Testbed",
+    "build_testbed",
+    "LUCKY_NAMES",
+    "RequestLog",
+    "MetricsSummary",
+    "summarize",
+    "ScenarioRun",
+    "PointResult",
+    "new_run",
+    "drive",
+    "Figure",
+    "Series",
+    "ReplicateStat",
+    "replicate_point",
+    "summarize_replicates",
+]

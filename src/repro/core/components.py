@@ -1,0 +1,98 @@
+"""Table 1 of the paper: the cross-system component mapping.
+
+To compare three differently-shaped systems, the paper maps their parts
+onto four functional roles:
+
+====================  ====================  ================  =========
+Role                  MDS                   R-GMA             Hawkeye
+====================  ====================  ================  =========
+Information Collector Information Provider  Producer          Module
+Information Server    GRIS                  ProducerServlet   Agent
+Aggregate Info Server GIIS                  (none)            Manager
+Directory Server      GIIS                  Registry          Manager
+====================  ====================  ================  =========
+
+This module encodes that mapping as data plus the role protocols the
+experiment harness programs against.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+from dataclasses import dataclass
+
+__all__ = ["Role", "System", "COMPONENT_MAPPING", "component_for", "roles_of"]
+
+
+class Role(enum.Enum):
+    """The four functional roles of Table 1."""
+
+    INFORMATION_COLLECTOR = "information collector"
+    INFORMATION_SERVER = "information server"
+    AGGREGATE_INFORMATION_SERVER = "aggregate information server"
+    DIRECTORY_SERVER = "directory server"
+
+
+class System(enum.Enum):
+    """The three monitoring and information services under study."""
+
+    MDS = "MDS"
+    RGMA = "R-GMA"
+    HAWKEYE = "Hawkeye"
+
+
+@dataclass(frozen=True)
+class ComponentEntry:
+    """One cell of Table 1."""
+
+    system: System
+    role: Role
+    component: str | None  # None where the system has no such component
+
+
+COMPONENT_MAPPING: tuple[ComponentEntry, ...] = (
+    ComponentEntry(System.MDS, Role.INFORMATION_COLLECTOR, "Information Provider"),
+    ComponentEntry(System.MDS, Role.INFORMATION_SERVER, "GRIS"),
+    ComponentEntry(System.MDS, Role.AGGREGATE_INFORMATION_SERVER, "GIIS"),
+    ComponentEntry(System.MDS, Role.DIRECTORY_SERVER, "GIIS"),
+    ComponentEntry(System.RGMA, Role.INFORMATION_COLLECTOR, "Producer"),
+    ComponentEntry(System.RGMA, Role.INFORMATION_SERVER, "ProducerServlet"),
+    ComponentEntry(System.RGMA, Role.AGGREGATE_INFORMATION_SERVER, None),
+    ComponentEntry(System.RGMA, Role.DIRECTORY_SERVER, "Registry"),
+    ComponentEntry(System.HAWKEYE, Role.INFORMATION_COLLECTOR, "Module"),
+    ComponentEntry(System.HAWKEYE, Role.INFORMATION_SERVER, "Agent"),
+    ComponentEntry(System.HAWKEYE, Role.AGGREGATE_INFORMATION_SERVER, "Manager"),
+    ComponentEntry(System.HAWKEYE, Role.DIRECTORY_SERVER, "Manager"),
+)
+
+
+def component_for(system: System, role: Role) -> str | None:
+    """Table-1 lookup: which component plays ``role`` in ``system``."""
+    for entry in COMPONENT_MAPPING:
+        if entry.system is system and entry.role is role:
+            return entry.component
+    raise KeyError((system, role))  # pragma: no cover - mapping is total
+
+
+def roles_of(system: System, component: str) -> list[Role]:
+    """Reverse lookup: the roles a named component plays (GIIS plays two)."""
+    return [
+        entry.role
+        for entry in COMPONENT_MAPPING
+        if entry.system is system and entry.component == component
+    ]
+
+
+def render_table1() -> str:
+    """Render Table 1 as aligned text (used by docs and the CLI)."""
+    systems = [System.MDS, System.RGMA, System.HAWKEYE]
+    header = ["Role".ljust(30)] + [s.value.ljust(20) for s in systems]
+    lines = ["".join(header)]
+    lines.append("-" * len(lines[0]))
+    for role in Role:
+        cells = [role.value.title().ljust(30)]
+        for system in systems:
+            cells.append(str(component_for(system, role) or "None").ljust(20))
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Shared scenario-construction helpers for the four experiment sets."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.params import StudyParams
+from repro.core.runner import ScenarioRun
+from repro.core.testbed import assign_users_to_clients
+from repro.hawkeye.agent import Agent
+from repro.hawkeye.modules import replicated_modules
+from repro.mds.gris import GRIS
+from repro.mds.providers import replicated_providers
+from repro.rgma.producer import make_default_producers
+from repro.rgma.producer_servlet import ProducerServlet
+from repro.rgma.registry import Registry
+from repro.sim.host import Host
+
+__all__ = [
+    "uc_clients",
+    "lucky_clients",
+    "build_gris",
+    "build_agent",
+    "build_rgma_producer_side",
+    "spawn_publisher",
+    "spawn_agent_advertiser",
+]
+
+
+def uc_clients(run: ScenarioRun, n_users: int) -> list[Host]:
+    """Spread ``n_users`` over the 20 UC client machines (max 50 each)."""
+    return assign_users_to_clients(
+        n_users, run.testbed.uc, run.params.testbed.max_users_per_uc_machine
+    )
+
+
+def lucky_clients(run: ScenarioRun, n_users: int, exclude: _t.Sequence[str] = ()) -> list[Host]:
+    """Spread users over Lucky nodes (the R-GMA local-consumer variant)."""
+    nodes = [h for name, h in run.testbed.lucky.items() if name not in set(exclude)]
+    return [nodes[i % len(nodes)] for i in range(n_users)]
+
+
+def build_gris(run: ScenarioRun, *, collectors: int, cached: bool, seed: int = 0) -> GRIS:
+    """A GRIS on lucky7 with ``collectors`` information providers."""
+    ttl = float("inf") if cached else 0.0
+    gris = GRIS(
+        "lucky7.mcs.anl.gov",
+        replicated_providers(collectors),
+        cachettl=ttl,
+        seed=seed,
+    )
+    if cached:
+        gris.search(now=0.0)  # prime the cache before measurement
+    return gris
+
+
+def build_agent(run: ScenarioRun, *, modules: int, seed: int = 0) -> Agent:
+    """A Hawkeye Agent on lucky4 with ``modules`` sensor modules."""
+    return Agent("lucky4.mcs.anl.gov", replicated_modules(modules), seed=seed)
+
+
+def build_rgma_producer_side(
+    run: ScenarioRun, *, producers: int, seed: int = 0
+) -> tuple[Registry, ProducerServlet]:
+    """Registry on lucky1 plus a ProducerServlet on lucky3 with producers."""
+    registry = Registry("lucky1")
+    servlet = ProducerServlet("lucky3-ps")
+    for producer in make_default_producers("lucky3.mcs.anl.gov", producers, seed=seed):
+        servlet.attach(producer, registry, now=0.0, lease=1e9)
+    servlet.publish_all(now=0.0)  # initial tuples so queries return rows
+    return registry, servlet
+
+
+def spawn_publisher(
+    run: ScenarioRun, servlet: ProducerServlet, host: Host, interval: float = 30.0
+) -> None:
+    """Background measurement rounds: producers publish every ``interval``."""
+
+    def publisher() -> _t.Generator:
+        while True:
+            yield run.sim.timeout(interval)
+            count = servlet.publish_all(now=run.sim.now)
+            # Buffer inserts burn a little CPU on the servlet host.
+            yield host.compute(0.0008 * count)
+
+    run.sim.spawn(publisher(), name=f"publisher:{servlet.name}")
+
+
+def spawn_agent_advertiser(
+    run: ScenarioRun,
+    agent: Agent,
+    manager_host: Host,
+    ingest_cpu: float,
+    interval: float = 30.0,
+    receive: _t.Callable[[_t.Any, float], None] | None = None,
+) -> None:
+    """Background Startd-ad pushes from an Agent to its Manager host."""
+
+    def advertiser() -> _t.Generator:
+        while True:
+            yield run.sim.timeout(interval)
+            ad, _answer = agent.make_startd_ad(now=run.sim.now)
+            yield manager_host.compute(ingest_cpu)
+            if receive is not None:
+                receive(ad, run.sim.now)
+
+    run.sim.spawn(advertiser(), name=f"advertiser:{agent.machine}")

@@ -1,0 +1,191 @@
+"""Experiment Set 1 — information-server scalability with users (§3.3).
+
+Reproduces Figures 5-8: throughput, response time, load1 and CPU load
+of the three information servers as 1-600 concurrent users query them.
+
+The five series of the figures:
+
+* ``mds-gris-cache``   — GRIS on lucky7, 10 providers, data always cached;
+* ``mds-gris-nocache`` — same, data never cached;
+* ``hawkeye-agent``    — Agent on lucky4 (Manager on lucky3);
+* ``rgma-ps-uc``       — ProducerServlet on lucky3, consumers at UC through
+  a single ConsumerServlet (the paper could drive at most ~100-120 users
+  this way);
+* ``rgma-ps-lucky``    — same servlet, consumers on the Lucky nodes with a
+  ConsumerServlet per node (up to 600 users).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.experiments.common import (
+    build_agent,
+    build_gris,
+    build_rgma_producer_side,
+    lucky_clients,
+    spawn_publisher,
+    uc_clients,
+)
+from repro.core.params import StudyParams
+from repro.core.runner import PointResult, ScenarioRun, drive, new_run
+from repro.core.services import (
+    make_agent_service,
+    make_consumer_servlet_service,
+    make_gris_service,
+    make_producer_servlet_service,
+)
+from repro.sim.rpc import Service
+
+__all__ = ["SYSTEMS", "X_VALUES", "run_point", "sweep"]
+
+SYSTEMS = (
+    "mds-gris-cache",
+    "mds-gris-nocache",
+    "hawkeye-agent",
+    "rgma-ps-lucky",
+    "rgma-ps-uc",
+)
+
+# The user counts of Figures 5-8.
+X_VALUES = (1, 10, 50, 100, 200, 300, 400, 500, 600)
+
+# The paper could only drive ~100 UC consumers through one ConsumerServlet.
+UC_VARIANT_MAX_USERS = 100
+
+
+def run_point(
+    system: str,
+    users: int,
+    seed: int = 1,
+    *,
+    params: StudyParams | None = None,
+    warmup: float | None = None,
+    window: float | None = None,
+) -> PointResult:
+    """Measure one (system, users) coordinate of Figures 5-8."""
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown exp1 system {system!r}; pick from {SYSTEMS}")
+    if system == "rgma-ps-uc" and users > UC_VARIANT_MAX_USERS:
+        raise ValueError(
+            f"the UC variant supports at most {UC_VARIANT_MAX_USERS} users "
+            "(the paper's ConsumerServlet limit)"
+        )
+
+    if system.startswith("mds-gris"):
+        monitored: tuple[str, ...] = ("lucky7",)
+    elif system == "hawkeye-agent":
+        monitored = ("lucky4",)
+    else:
+        monitored = ("lucky3",)
+    run = new_run(seed, params, monitored=monitored)
+    p = run.params
+
+    if system in ("mds-gris-cache", "mds-gris-nocache"):
+        cached = system.endswith("cache") and not system.endswith("nocache")
+        gris = build_gris(run, collectors=10, cached=cached, seed=seed)
+        server_host = run.testbed.lucky["lucky7"]
+        service = make_gris_service(run.sim, run.net, server_host, gris, p.gris)
+        run.services["gris"] = service
+        return drive(
+            run,
+            system=system,
+            x=users,
+            service=service,
+            clients=uc_clients(run, users),
+            server_host=server_host,
+            payload_fn=lambda uid: {"filter": "(objectclass=*)"},
+            request_size=p.gris.request_size,
+            warmup=warmup,
+            window=window,
+        )
+
+    if system == "hawkeye-agent":
+        agent = build_agent(run, modules=11, seed=seed)
+        server_host = run.testbed.lucky["lucky4"]
+        service = make_agent_service(run.sim, run.net, server_host, agent, p.agent)
+        run.services["agent"] = service
+        return drive(
+            run,
+            system=system,
+            x=users,
+            service=service,
+            clients=uc_clients(run, users),
+            server_host=server_host,
+            payload_fn=lambda uid: {"query": "status"},
+            request_size=p.agent.request_size,
+            warmup=warmup,
+            window=window,
+        )
+
+    # R-GMA variants ---------------------------------------------------------
+    _registry, servlet = build_rgma_producer_side(run, producers=10, seed=seed)
+    server_host = run.testbed.lucky["lucky3"]
+    ps_service = make_producer_servlet_service(
+        run.sim, run.net, server_host, servlet, p.producer_servlet
+    )
+    run.services["ps"] = ps_service
+    spawn_publisher(run, servlet, server_host)
+    payload_fn = lambda uid: {"sql": "SELECT * FROM cpuLoad"}  # noqa: E731
+
+    if system == "rgma-ps-uc":
+        cs_host = run.testbed.uc[0]
+        cs_service = make_consumer_servlet_service(
+            run.sim, run.net, cs_host, "uc-cs", ps_service, p.consumer_servlet
+        )
+        run.services["cs"] = cs_service
+        return drive(
+            run,
+            system=system,
+            x=users,
+            service=cs_service,
+            clients=uc_clients(run, users),
+            server_host=server_host,
+            payload_fn=payload_fn,
+            request_size=p.consumer_servlet.request_size,
+            warmup=warmup,
+            window=window,
+        )
+
+    # rgma-ps-lucky: one ConsumerServlet per Lucky node, consumers local.
+    cs_nodes = [name for name in run.testbed.lucky if name != "lucky3"]
+    cs_services: dict[str, Service] = {}
+    for name in cs_nodes:
+        cs_services[name] = make_consumer_servlet_service(
+            run.sim,
+            run.net,
+            run.testbed.lucky[name],
+            f"{name}-cs",
+            ps_service,
+            p.consumer_servlet,
+        )
+    clients = lucky_clients(run, users, exclude=("lucky3",))
+    services_by_user = [cs_services[c.name.split(".")[0]] for c in clients]
+    return drive(
+        run,
+        system=system,
+        x=users,
+        service=ps_service,  # crash/refusal accounting anchor
+        clients=clients,
+        server_host=server_host,
+        payload_fn=payload_fn,
+        request_size=p.consumer_servlet.request_size,
+        services_by_user=services_by_user,
+        warmup=warmup,
+        window=window,
+    )
+
+
+def sweep(
+    system: str,
+    x_values: _t.Sequence[int] = X_VALUES,
+    seed: int = 1,
+    **kwargs: _t.Any,
+) -> list[PointResult]:
+    """Full series for one figure legend entry."""
+    limit = UC_VARIANT_MAX_USERS if system == "rgma-ps-uc" else None
+    return [
+        run_point(system, users, seed, **kwargs)
+        for users in x_values
+        if limit is None or users <= limit
+    ]

@@ -1,0 +1,116 @@
+"""Experiment Set 3 — information-server scalability with collectors (§3.5).
+
+Reproduces Figures 13-16: 10 concurrent users query each information
+server while the number of information collectors grows from the
+default (10 providers / 11 modules / 10 producers) to 90.
+
+Series:
+
+* ``mds-gris-cache``   — GRIS with data always in cache;
+* ``mds-gris-nocache`` — GRIS re-running every provider per query;
+* ``hawkeye-agent``    — Agent with vmstat-clone modules;
+* ``rgma-ps``          — ProducerServlet queried directly.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.experiments.common import (
+    build_agent,
+    build_gris,
+    build_rgma_producer_side,
+    spawn_publisher,
+    uc_clients,
+)
+from repro.core.params import StudyParams
+from repro.core.runner import PointResult, drive, new_run
+from repro.core.services import (
+    make_agent_service,
+    make_gris_service,
+    make_producer_servlet_service,
+)
+
+__all__ = ["SYSTEMS", "X_VALUES", "USERS", "run_point", "sweep"]
+
+SYSTEMS = ("mds-gris-cache", "mds-gris-nocache", "hawkeye-agent", "rgma-ps")
+
+# Collector counts on the x-axis of Figures 13-16.
+X_VALUES = (10, 30, 50, 70, 90)
+
+# "10 concurrent users sent queries" (§3.5).
+USERS = 10
+
+
+def run_point(
+    system: str,
+    collectors: int,
+    seed: int = 1,
+    *,
+    users: int = USERS,
+    params: StudyParams | None = None,
+    warmup: float | None = None,
+    window: float | None = None,
+) -> PointResult:
+    """Measure one (system, collectors) coordinate of Figures 13-16."""
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown exp3 system {system!r}; pick from {SYSTEMS}")
+
+    if system.startswith("mds-gris"):
+        monitored: tuple[str, ...] = ("lucky7",)
+    elif system == "hawkeye-agent":
+        monitored = ("lucky4",)
+    else:
+        monitored = ("lucky3",)
+    run = new_run(seed, params, monitored=monitored)
+    p = run.params
+    clients = uc_clients(run, users)
+
+    if system in ("mds-gris-cache", "mds-gris-nocache"):
+        cached = not system.endswith("nocache")
+        gris = build_gris(run, collectors=collectors, cached=cached, seed=seed)
+        server_host = run.testbed.lucky["lucky7"]
+        service = make_gris_service(run.sim, run.net, server_host, gris, p.gris)
+        run.services["gris"] = service
+        payload_fn = lambda uid: {"filter": "(objectclass=*)"}  # noqa: E731
+        request_size = p.gris.request_size
+    elif system == "hawkeye-agent":
+        agent = build_agent(run, modules=collectors, seed=seed)
+        server_host = run.testbed.lucky["lucky4"]
+        service = make_agent_service(run.sim, run.net, server_host, agent, p.agent)
+        run.services["agent"] = service
+        payload_fn = lambda uid: {"query": "status"}  # noqa: E731
+        request_size = p.agent.request_size
+    else:  # rgma-ps: "We queried the ProducerServlet directly" (§3.5)
+        _registry, servlet = build_rgma_producer_side(run, producers=collectors, seed=seed)
+        server_host = run.testbed.lucky["lucky3"]
+        service = make_producer_servlet_service(
+            run.sim, run.net, server_host, servlet, p.producer_servlet
+        )
+        run.services["ps"] = service
+        spawn_publisher(run, servlet, server_host)
+        payload_fn = lambda uid: {"sql": "SELECT * FROM cpuLoad"}  # noqa: E731
+        request_size = p.producer_servlet.request_size
+
+    return drive(
+        run,
+        system=system,
+        x=collectors,
+        service=service,
+        clients=clients,
+        server_host=server_host,
+        payload_fn=payload_fn,
+        request_size=request_size,
+        warmup=warmup,
+        window=window,
+    )
+
+
+def sweep(
+    system: str,
+    x_values: _t.Sequence[int] = X_VALUES,
+    seed: int = 1,
+    **kwargs: _t.Any,
+) -> list[PointResult]:
+    """Full series for one figure legend entry."""
+    return [run_point(system, collectors, seed, **kwargs) for collectors in x_values]

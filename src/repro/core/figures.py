@@ -1,0 +1,189 @@
+"""Registry of Figures 5-20 and the ``repro-figures`` CLI.
+
+Every figure of the paper's evaluation maps to one experiment set and
+one of the four metrics.  :func:`reproduce_figure` runs the sweeps and
+returns a populated :class:`~repro.core.results.Figure`;
+``python -m repro.core.figures 5`` (or the ``repro-figures`` script)
+prints the table the paper plotted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+from dataclasses import dataclass
+
+from repro.core.experiments import exp1, exp2, exp3, exp4
+from repro.core.results import Figure, Series
+from repro.core.runner import PointResult
+
+__all__ = ["FIGURES", "FigureSpec", "reproduce_figure", "main"]
+
+# Metric extracted per figure (the paper cycles the same four).
+_METRICS = {
+    "throughput": ("Throughput (queries/sec)", lambda r: r.throughput),
+    "response_time": ("Response Time (sec)", lambda r: r.response_time),
+    "load1": ("Load1", lambda r: r.load1),
+    "cpu_load": ("CPU Load (%)", lambda r: r.cpu_load),
+}
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """What one paper figure plots."""
+
+    number: int
+    title: str
+    experiment: _t.Any  # exp1..exp4 module
+    metric: str
+    xlabel: str
+
+
+FIGURES: dict[int, FigureSpec] = {}
+
+
+def _register(number: int, title: str, experiment: _t.Any, metric: str, xlabel: str) -> None:
+    FIGURES[number] = FigureSpec(number, title, experiment, metric, xlabel)
+
+
+for _n, _metric in zip((5, 6, 7, 8), ("throughput", "response_time", "load1", "cpu_load")):
+    _register(
+        _n,
+        f"Information Server {_METRICS[_metric][0]} vs. No. of Concurrent Users",
+        exp1,
+        _metric,
+        "No. of Users",
+    )
+for _n, _metric in zip((9, 10, 11, 12), ("throughput", "response_time", "load1", "cpu_load")):
+    _register(
+        _n,
+        f"Directory Server {_METRICS[_metric][0]} vs. No. of Concurrent Users",
+        exp2,
+        _metric,
+        "No. of Users",
+    )
+for _n, _metric in zip((13, 14, 15, 16), ("throughput", "response_time", "load1", "cpu_load")):
+    _register(
+        _n,
+        f"Information Server {_METRICS[_metric][0]} vs. No. of Information Collectors",
+        exp3,
+        _metric,
+        "No. of Information Collectors",
+    )
+for _n, _metric in zip((17, 18, 19, 20), ("throughput", "response_time", "load1", "cpu_load")):
+    _register(
+        _n,
+        f"Aggregate Information Server {_METRICS[_metric][0]} vs. No. of Information Servers",
+        exp4,
+        _metric,
+        "No. of Information Servers",
+    )
+
+
+def points_to_series(label: str, points: _t.Sequence[PointResult], metric: str) -> Series:
+    """Convert sweep results into one figure series (crashes become DNF)."""
+    extract = _METRICS[metric][1]
+    series = Series(label=label)
+    for point in points:
+        if point.crashed:
+            series.mark_dnf(point.x)
+        else:
+            series.add(point.x, extract(point))
+    return series
+
+
+def reproduce_figure(
+    number: int,
+    seed: int = 1,
+    *,
+    systems: _t.Sequence[str] | None = None,
+    x_values: _t.Sequence[int] | None = None,
+    sweep_cache: dict | None = None,
+    **kwargs: _t.Any,
+) -> Figure:
+    """Run the sweeps behind one paper figure and return it populated.
+
+    ``sweep_cache`` lets callers share sweep results across the four
+    figures of an experiment set (they plot the same runs four ways —
+    pass the same dict to each call).
+    """
+    spec = FIGURES[number]
+    exp = spec.experiment
+    figure = Figure(
+        number=number,
+        title=spec.title,
+        xlabel=spec.xlabel,
+        ylabel=_METRICS[spec.metric][0],
+    )
+    for system in systems or exp.SYSTEMS:
+        cache_key = (exp.__name__, system, seed)
+        if sweep_cache is not None and cache_key in sweep_cache:
+            points = sweep_cache[cache_key]
+        else:
+            if x_values is not None:
+                points = exp.sweep(system, x_values=x_values, seed=seed, **kwargs)
+            else:
+                points = exp.sweep(system, seed=seed, **kwargs)
+            if sweep_cache is not None:
+                sweep_cache[cache_key] = points
+        figure.series.append(points_to_series(system, points, spec.metric))
+    return figure
+
+
+def reproduce_experiment_set(
+    numbers: _t.Sequence[int], seed: int = 1, **kwargs: _t.Any
+) -> list[Figure]:
+    """All figures of one experiment set, sharing the underlying sweeps."""
+    cache: dict = {}
+    return [reproduce_figure(n, seed, sweep_cache=cache, **kwargs) for n in numbers]
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI: regenerate paper figures as text tables (and optional CSV)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Regenerate figures 5-20 of Zhang/Freschl/Schopf (HPDC 2003).",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        type=int,
+        default=[],
+        help="figure numbers (5-20); default: all",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    parser.add_argument("--chart", action="store_true", help="also draw ASCII charts")
+    parser.add_argument(
+        "--quick", action="store_true", help="coarse sweeps (3 x-values) for a fast look"
+    )
+    args = parser.parse_args(argv)
+    wanted = args.figures or sorted(FIGURES)
+    unknown = [n for n in wanted if n not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure numbers: {unknown} (valid: 5-20)")
+
+    # Group by experiment set so sweeps are shared.
+    cache: dict = {}
+    for number in wanted:
+        kwargs: dict = {}
+        if args.quick:
+            exp = FIGURES[number].experiment
+            if exp is exp4:
+                kwargs["x_values"] = None  # per-system defaults, already short
+            else:
+                kwargs["x_values"] = tuple(exp.X_VALUES[:: max(1, len(exp.X_VALUES) // 3)])
+        figure = reproduce_figure(number, args.seed, sweep_cache=cache, **kwargs)
+        if args.csv:
+            sys.stdout.write(figure.to_csv())
+        else:
+            print(figure.to_table())
+            if args.chart:
+                print(figure.to_ascii_chart())
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Performance metrics (paper §3.2).
+
+* **throughput** — "the average number of requests (or queries)
+  processed by a service component per second";
+* **response time** — "the average amount of time (in seconds) required
+  for a service component to handle a request sent from a user";
+* **load** — percent CPU in user+system mode (from the Ganglia monitor);
+* **load1** — the one-minute load average.
+
+:class:`RequestLog` accumulates per-request records during a run;
+:func:`summarize` reduces the measurement window to one
+:class:`MetricsSummary`, averaging "over all the values recorded during
+the time span" exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.sim.host import Host
+from repro.sim.monitor import Ganglia
+
+__all__ = ["RequestRecord", "RequestLog", "MetricsSummary", "summarize"]
+
+OUTCOME_OK = "ok"
+OUTCOME_REFUSED = "refused"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One client-observed request."""
+
+    user: int
+    started: float
+    finished: float
+    outcome: str
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+
+@dataclass
+class RequestLog:
+    """Append-only log of request records for one run."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+
+    def add(self, user: int, started: float, finished: float, outcome: str) -> None:
+        self.records.append(RequestRecord(user, started, finished, outcome))
+
+    def in_window(self, start: float, end: float) -> list[RequestRecord]:
+        """Records *completing* inside [start, end]."""
+        return [r for r in self.records if start <= r.finished <= end]
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for r in self.records if r.outcome == outcome)
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """The four figures' worth of numbers for one experiment point."""
+
+    throughput: float  # successful queries per second
+    response_time: float  # mean seconds per successful query
+    load1: float  # server host one-minute load average
+    cpu_load: float  # server host CPU percent
+    completed: int
+    refused: int
+    timeouts: int
+    errors: int
+    window: float
+
+
+def summarize(
+    log: RequestLog,
+    monitor: Ganglia,
+    server_host: Host,
+    window_start: float,
+    window_end: float,
+) -> MetricsSummary:
+    """Reduce one run's raw records to the paper's reported metrics."""
+    window = window_end - window_start
+    if window <= 0:
+        raise ValueError(f"empty measurement window [{window_start}, {window_end}]")
+    in_window = log.in_window(window_start, window_end)
+    successes = [r for r in in_window if r.outcome == OUTCOME_OK]
+    throughput = len(successes) / window
+    response = (
+        sum(r.duration for r in successes) / len(successes) if successes else 0.0
+    )
+    cpu_load, load1 = monitor.window_average(server_host, window_start, window_end)
+    return MetricsSummary(
+        throughput=throughput,
+        response_time=response,
+        load1=load1,
+        cpu_load=cpu_load,
+        completed=len(successes),
+        refused=sum(1 for r in in_window if r.outcome == OUTCOME_REFUSED),
+        timeouts=sum(1 for r in in_window if r.outcome == OUTCOME_TIMEOUT),
+        errors=sum(1 for r in in_window if r.outcome == OUTCOME_ERROR),
+        window=window,
+    )

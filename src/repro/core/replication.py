@@ -1,0 +1,105 @@
+"""Multi-seed replication and confidence intervals.
+
+The paper reports single-run averages; a simulation study can do better
+by replicating each point across independent seeds and reporting a
+confidence interval.  :func:`replicate_point` runs any experiment
+point-function across seeds; :func:`summarize_replicates` reduces the
+four metrics to mean ± half-width (Student-t) intervals.
+
+Example::
+
+    from repro.core.experiments import exp1
+    from repro.core.replication import replicate_point, summarize_replicates
+
+    points = replicate_point(exp1.run_point, "mds-gris-cache", 200, seeds=range(5))
+    stats = summarize_replicates(points)
+    print(stats["throughput"])   # ReplicateStat(mean=40.1, half_width=0.6, n=5)
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from dataclasses import dataclass
+
+from repro.core.runner import PointResult
+
+__all__ = ["ReplicateStat", "replicate_point", "summarize_replicates"]
+
+# Two-sided 95% Student-t critical values for n-1 degrees of freedom.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086, 30: 2.042,
+}
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        return float("inf")
+    if df in _T_95:
+        return _T_95[df]
+    for known in sorted(_T_95):
+        if df <= known:
+            return _T_95[known]
+    return 1.96  # large-sample normal approximation
+
+
+@dataclass(frozen=True)
+class ReplicateStat:
+    """Mean and 95% confidence half-width over n replicates."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f} (n={self.n})"
+
+
+def replicate_point(
+    run_point: _t.Callable[..., PointResult],
+    system: str,
+    x: int,
+    *,
+    seeds: _t.Iterable[int] = range(1, 6),
+    **kwargs: _t.Any,
+) -> list[PointResult]:
+    """Run one experiment point once per seed."""
+    return [run_point(system, x, seed, **kwargs) for seed in seeds]
+
+
+def summarize_replicates(points: _t.Sequence[PointResult]) -> dict[str, ReplicateStat]:
+    """Per-metric mean ± 95% CI over replicated points.
+
+    Crashed replicates are excluded (a DNF has no metrics); if *all*
+    replicates crashed, every stat is NaN with n=0.
+    """
+    alive = [p for p in points if not p.crashed]
+    metrics = {
+        "throughput": [p.throughput for p in alive],
+        "response_time": [p.response_time for p in alive],
+        "load1": [p.load1 for p in alive],
+        "cpu_load": [p.cpu_load for p in alive],
+    }
+    out: dict[str, ReplicateStat] = {}
+    for name, values in metrics.items():
+        n = len(values)
+        if n == 0:
+            out[name] = ReplicateStat(float("nan"), float("nan"), 0)
+            continue
+        mean = sum(values) / n
+        if n == 1:
+            out[name] = ReplicateStat(mean, float("inf"), 1)
+            continue
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        half = _t_critical(n - 1) * math.sqrt(var / n)
+        out[name] = ReplicateStat(mean, half, n)
+    return out

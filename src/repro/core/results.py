@@ -1,0 +1,147 @@
+"""Result containers and renderers for the reproduced figures.
+
+A :class:`Figure` holds one or more :class:`Series` (legend entry →
+(x, y) points) plus axis labels, and renders to aligned text tables,
+CSV, or a quick ASCII chart — enough to eyeball every curve against the
+paper without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "Figure"]
+
+
+@dataclass
+class Series:
+    """One legend entry of a figure."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+    dnf: list[float] = field(default_factory=list)  # x values that crashed
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def mark_dnf(self, x: float) -> None:
+        self.dnf.append(x)
+
+    @property
+    def xs(self) -> list[float]:
+        return [x for x, _y in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        return [y for _x, y in self.points]
+
+    def y_at(self, x: float) -> float | None:
+        for px, py in self.points:
+            if px == x:
+                return py
+        return None
+
+
+@dataclass
+class Figure:
+    """A reproduced figure: series + labels."""
+
+    number: int
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def all_xs(self) -> list[float]:
+        xs: list[float] = []
+        for s in self.series:
+            for x in s.xs + s.dnf:
+                if x not in xs:
+                    xs.append(x)
+        return sorted(xs)
+
+    # -- rendering ------------------------------------------------------------
+    def to_table(self) -> str:
+        """Aligned text table: one row per x, one column per series."""
+        xs = self.all_xs()
+        label_width = max(12, *(len(s.label) for s in self.series)) + 2
+        head = f"Figure {self.number}: {self.title}"
+        lines = [head, "=" * len(head)]
+        header = f"{self.xlabel:>16s} " + "".join(
+            f"{s.label:>{label_width}s}" for s in self.series
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for x in xs:
+            row = [f"{x:>16g} "]
+            for s in self.series:
+                if x in s.dnf:
+                    row.append(f"{'CRASH':>{label_width}s}")
+                else:
+                    y = s.y_at(x)
+                    row.append(
+                        f"{'-':>{label_width}s}" if y is None else f"{y:>{label_width}.3f}"
+                    )
+            lines.append("".join(row))
+        lines.append(f"(y axis: {self.ylabel})")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown table of the figure."""
+        xs = self.all_xs()
+        header = [self.xlabel] + [s.label for s in self.series]
+        lines = [
+            f"**Figure {self.number}: {self.title}** ({self.ylabel})",
+            "",
+            "| " + " | ".join(header) + " |",
+            "|" + "|".join("---" for _ in header) + "|",
+        ]
+        for x in xs:
+            cells = [f"{x:g}"]
+            for s in self.series:
+                if x in s.dnf:
+                    cells.append("CRASH")
+                else:
+                    y = s.y_at(x)
+                    cells.append("—" if y is None else f"{y:.3f}")
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rows: figure,series,x,y (DNF points get an empty y)."""
+        rows = ["figure,series,x,y"]
+        for s in self.series:
+            for x, y in s.points:
+                rows.append(f"{self.number},{s.label},{x:g},{y:.6g}")
+            for x in s.dnf:
+                rows.append(f"{self.number},{s.label},{x:g},")
+        return "\n".join(rows) + "\n"
+
+    def to_ascii_chart(self, width: int = 64, height: int = 16) -> str:
+        """A rough ASCII scatter of every series (one marker per series)."""
+        markers = "ox+*#@%&"
+        points = [(x, y) for s in self.series for x, y in s.points]
+        if not points:
+            return f"Figure {self.number}: (no data)"
+        xmax = max(x for x, _ in points) or 1.0
+        ymax = max(y for _, y in points) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        for si, s in enumerate(self.series):
+            mark = markers[si % len(markers)]
+            for x, y in s.points:
+                col = min(width - 1, int(x / xmax * (width - 1)))
+                row = min(height - 1, int(y / ymax * (height - 1)))
+                grid[height - 1 - row][col] = mark
+        lines = [f"Figure {self.number}: {self.title}  (ymax={ymax:.3g})"]
+        lines += ["|" + "".join(row) for row in grid]
+        lines.append("+" + "-" * width + f"> {self.xlabel} (xmax={xmax:g})")
+        for si, s in enumerate(self.series):
+            lines.append(f"  {markers[si % len(markers)]} = {s.label}")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Experiment orchestration: build a scenario, run it, reduce to metrics.
+
+One :class:`ScenarioRun` couples a simulator, the Lucky/UC testbed, the
+service under study and its workload.  :func:`drive` runs the
+measurement schedule the paper used — warm-up, then a measurement
+window whose completions and Ganglia samples are averaged — and returns
+a :class:`PointResult` for one (system, x) coordinate of a figure.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.core.metrics import MetricsSummary, RequestLog, summarize
+from repro.core.params import StudyParams, WorkloadParams, default_params, measurement_window
+from repro.core.testbed import Testbed, build_testbed
+from repro.core.workload import spawn_users
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network
+from repro.sim.randomness import RngHub
+from repro.sim.rpc import Service
+
+__all__ = ["ScenarioRun", "PointResult", "new_run", "drive"]
+
+
+@dataclass
+class ScenarioRun:
+    """Everything assembled for one experiment point."""
+
+    sim: Simulator
+    testbed: Testbed
+    params: StudyParams
+    rng: RngHub
+    log: RequestLog = field(default_factory=RequestLog)
+    services: dict[str, Service] = field(default_factory=dict)
+
+    @property
+    def net(self) -> Network:
+        return self.testbed.net
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One (system, x) coordinate of a figure, plus run diagnostics."""
+
+    system: str
+    x: float
+    summary: MetricsSummary
+    crashed: bool = False
+    crash_reason: str | None = None
+    sim_events: int = 0
+
+    # Figure-series accessors (Figures 5-20 plot these four metrics).
+    @property
+    def throughput(self) -> float:
+        return self.summary.throughput
+
+    @property
+    def response_time(self) -> float:
+        return self.summary.response_time
+
+    @property
+    def load1(self) -> float:
+        return self.summary.load1
+
+    @property
+    def cpu_load(self) -> float:
+        return self.summary.cpu_load
+
+
+def new_run(
+    seed: int,
+    params: StudyParams | None = None,
+    *,
+    monitored: tuple[str, ...] | None = None,
+) -> ScenarioRun:
+    """Fresh simulator + testbed for one experiment point."""
+    params = params or default_params()
+    sim = Simulator()
+    testbed = build_testbed(sim, params.testbed, monitored=monitored)
+    return ScenarioRun(sim=sim, testbed=testbed, params=params, rng=RngHub(seed))
+
+
+def drive(
+    run: ScenarioRun,
+    *,
+    system: str,
+    x: float,
+    service: Service,
+    clients: _t.Sequence[Host],
+    server_host: Host,
+    payload_fn: _t.Callable[[int], _t.Any],
+    request_size: int,
+    services_by_user: _t.Sequence[Service] | None = None,
+    workload: WorkloadParams | None = None,
+    warmup: float | None = None,
+    window: float | None = None,
+) -> PointResult:
+    """Run the workload and reduce the window to one figure point."""
+    default_warmup, default_window = measurement_window()
+    warmup = default_warmup if warmup is None else warmup
+    window = default_window if window is None else window
+    wp = workload or run.params.workload
+    spawn_users(
+        run.sim,
+        run.net,
+        clients,
+        service,
+        log=run.log,
+        wp=wp,
+        rng=run.rng.stream("workload", system, str(x)),
+        payload_fn=payload_fn,
+        request_size=request_size,
+        services_by_user=services_by_user,
+    )
+    run.sim.run(until=warmup + window)
+    summary = summarize(run.log, run.testbed.monitor, server_host, warmup, warmup + window)
+    crashed = service.crashed or any(s.crashed for s in run.services.values())
+    reason = service.crash_reason or next(
+        (s.crash_reason for s in run.services.values() if s.crash_reason), None
+    )
+    return PointResult(
+        system=system,
+        x=x,
+        summary=summary,
+        crashed=crashed,
+        crash_reason=reason,
+        sim_events=run.sim.events_processed,
+    )

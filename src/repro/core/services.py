@@ -1,0 +1,463 @@
+"""Simulation adapters: each monitoring component as a network service.
+
+This is where the functional systems (``repro.mds`` / ``repro.rgma`` /
+``repro.hawkeye``) meet the cost models (``repro.core.params``): every
+factory wraps a functional object in a :class:`~repro.sim.rpc.Service`
+whose handler charges calibrated CPU/lock/latency costs while producing
+*real* answers (LDAP entries, SQL rows, ClassAds).
+
+Cost-model conventions (DESIGN.md §2):
+
+* serialized back ends are a :class:`~repro.sim.resources.Mutex`; the
+  hold is split into a CPU part (runnable) and a blocked part, which is
+  what makes host load1 *drop* past saturation as the paper observes;
+* concurrency-dependent connection overhead lives on the Service itself
+  (``conn_overhead``);
+* accept-queue refusal comes from the Service's thread/backlog limits.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.params import (
+    AgentParams,
+    ConsumerServletParams,
+    GiisParams,
+    GrisParams,
+    ManagerParams,
+    ProducerServletParams,
+    RegistryParams,
+)
+from repro.errors import ServiceCrashError
+from repro.hawkeye.agent import Agent
+from repro.hawkeye.manager import Manager
+from repro.mds.giis import GIIS
+from repro.mds.gris import GRIS
+from repro.rgma.consumer_servlet import ConsumerServlet
+from repro.rgma.producer_servlet import ProducerServlet
+from repro.rgma.registry import Registry
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network
+from repro.sim.resources import Mutex
+from repro.sim.rpc import Request, Response, Service, call
+
+__all__ = [
+    "make_gris_service",
+    "make_giis_directory_service",
+    "make_giis_aggregate_service",
+    "make_agent_service",
+    "make_producer_servlet_service",
+    "make_consumer_servlet_service",
+    "make_registry_service",
+    "make_manager_directory_service",
+    "make_manager_aggregate_service",
+    "make_manager_ingest_service",
+]
+
+
+def _held(sim: Simulator, host: Host, mutex: Mutex, hold: float, cpu_fraction: float):
+    """Hold ``mutex`` for ``hold`` seconds, part CPU, part blocked I/O."""
+    yield mutex.acquire()
+    try:
+        cpu_part = hold * cpu_fraction
+        io_part = hold - cpu_part
+        if cpu_part > 0:
+            yield host.compute(cpu_part)
+        if io_part > 0:
+            yield sim.timeout(io_part)
+    finally:
+        mutex.release()
+
+
+# -- MDS ----------------------------------------------------------------------
+
+
+def _gris_stale_count(gris: GRIS, now: float) -> int:
+    """How many providers a search at ``now`` would re-run (no side effects)."""
+    if gris.cache.ttl <= 0:
+        return len(gris.providers)
+    stale = 0
+    for provider in gris.providers:
+        item = gris.cache._store.get(provider.name)
+        if item is None or now >= item[0]:
+            stale += 1
+    return stale
+
+
+def make_gris_service(
+    sim: Simulator, net: Network, host: Host, gris: GRIS, p: GrisParams
+) -> Service:
+    """The MDS GRIS as a network service (Experiments 1 and 3)."""
+    provider_mutex = Mutex(sim, name=f"gris:{gris.hostname}:providers")
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        if _gris_stale_count(gris, sim.now):
+            yield provider_mutex.acquire()
+            try:
+                stale = _gris_stale_count(gris, sim.now)  # recheck after queueing
+                if stale:
+                    yield from _held_body(stale)
+                result = gris.search(now=sim.now)
+            finally:
+                provider_mutex.release()
+        else:
+            result = gris.search(now=sim.now)
+        yield host.compute(len(result.entries) * p.cpu_per_entry)
+        return Response(
+            value={"entries": len(result.entries), "fetched": result.fetched},
+            size=result.estimated_size(),
+        )
+
+    def _held_body(stale: int) -> _t.Generator:
+        hold = stale * p.provider_hold
+        cpu_part = hold * p.provider_cpu_fraction
+        yield host.compute(cpu_part)
+        yield sim.timeout(hold - cpu_part)
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"gris:{gris.hostname}",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead,
+    )
+
+
+def make_giis_directory_service(
+    sim: Simulator, net: Network, host: Host, giis: GIIS, p: GiisParams
+) -> Service:
+    """The GIIS in its directory-server role (Experiment 2).
+
+    Data is always in cache (the paper set cachettl very large), so a
+    query is pure LDAP-backend work.
+    """
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        result = giis.query(now=sim.now)
+        return Response(
+            value={"entries": len(result.entries)},
+            size=result.estimated_size(),
+        )
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"giis:{giis.name}",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead,
+    )
+
+
+def make_giis_aggregate_service(
+    sim: Simulator,
+    net: Network,
+    host: Host,
+    giis: GIIS,
+    p: GiisParams,
+    *,
+    query_part: bool = False,
+    part_size: int = 10,
+) -> Service:
+    """The GIIS in its aggregate role (Experiment 4).
+
+    Result assembly over G registrants is serialized in the LDAP
+    backend with superlinear cost; ``query_part`` asks for a fixed-size
+    subset of registrants (the paper's second query type).
+    """
+    assembly_mutex = Mutex(sim, name=f"giis:{giis.name}:assembly")
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        g = giis.registrant_count
+        if not query_part and p.max_queryall_registrants and g > p.max_queryall_registrants:
+            giis.crashed = True
+            service.crash(f"query-all over {g} registrants")
+            raise ServiceCrashError(
+                f"GIIS {giis.name} crashed answering query-all over {g} registrants"
+            )
+        scale = p.part_fraction if query_part else 1.0
+        cost = scale * p.aggregate_cpu_coeff * (g ** p.aggregate_cpu_exp)
+        yield from _held(sim, host, assembly_mutex, cost, cpu_fraction=0.85)
+        if query_part:
+            names = [reg.name for reg in giis.registrations.alive(sim.now)][:part_size]
+            result = giis.query(now=sim.now, subset=names)
+        else:
+            result = giis.query(now=sim.now)
+        size = max(result.estimated_size(), len(result.entries) * p.entry_wire_bytes)
+        return Response(value={"entries": len(result.entries)}, size=size)
+
+    suffix = "part" if query_part else "all"
+    return Service(
+        sim,
+        net,
+        host,
+        f"giis:{giis.name}:{suffix}",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead,
+    )
+
+
+# -- Hawkeye -------------------------------------------------------------
+
+
+def make_agent_service(
+    sim: Simulator, net: Network, host: Host, agent: Agent, p: AgentParams
+) -> Service:
+    """The Hawkeye Agent as a network service (Experiments 1 and 3).
+
+    Every query re-collects the modules under the Startd lock — the
+    Agent "has to retrieve new information for each query" (§3.3) —
+    with the quadratic integration cost of ClassAd merging.
+    """
+    startd_mutex = Mutex(sim, name=f"agent:{agent.machine}:startd")
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        m = agent.module_count
+        # Lock-convoy degradation: the hold inflates with the queue the
+        # request joins, producing the paper's post-threshold decline in
+        # throughput and host load (Figs 5, 7).
+        hold = p.fetch_quad_coeff * (m * m) * (1.0 + p.convoy_coeff * startd_mutex.queue_length)
+        yield startd_mutex.acquire()
+        try:
+            cpu_part = hold * p.fetch_cpu_fraction
+            yield host.compute(cpu_part)
+            yield sim.timeout(hold - cpu_part)
+            answer = agent.query(now=sim.now)
+        finally:
+            startd_mutex.release()
+        return Response(
+            value={"attrs": len(answer.ad), "modules": answer.modules_run},
+            size=answer.estimated_size(),
+        )
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"agent:{agent.machine}",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead,
+    )
+
+
+def make_manager_directory_service(
+    sim: Simulator, net: Network, host: Host, manager: Manager, p: ManagerParams
+) -> Service:
+    """The Manager in its directory role (Experiment 2): indexed lookups."""
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        machine = None
+        if isinstance(request.payload, dict):
+            machine = request.payload.get("machine")
+        if machine:
+            answer = manager.query_machine(machine)
+        else:
+            answer = manager.query('Name == "lucky4.mcs.anl.gov"')
+        return Response(
+            value={"ads": len(answer.ads)},
+            size=max(answer.estimated_size(), 512),
+        )
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"manager:{manager.name}:dir",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead,
+    )
+
+
+def make_manager_aggregate_service(
+    sim: Simulator,
+    net: Network,
+    host: Host,
+    manager: Manager,
+    p: ManagerParams,
+    collector_mutex: Mutex | None = None,
+) -> tuple[Service, Mutex]:
+    """The Manager in its aggregate role (Experiment 4).
+
+    Queries run the paper's worst case — "a constraint that was not met
+    by any machine" — scanning every resident Startd ad under the
+    collector lock.  Returns the service and the lock so the ingest
+    service can share it.
+    """
+    lock = collector_mutex or Mutex(sim, name=f"manager:{manager.name}:collector")
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        pool = manager.pool_size
+        scan_cost = p.scan_cpu_per_ad * pool
+        yield lock.acquire()
+        try:
+            if scan_cost > 0:
+                yield host.compute(scan_cost)
+            answer = manager.query("TARGET.CpuLoad > 50")  # matches nothing
+        finally:
+            lock.release()
+        return Response(value={"ads": len(answer.ads), "scanned": answer.scanned}, size=512)
+
+    service = Service(
+        sim,
+        net,
+        host,
+        f"manager:{manager.name}:agg",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead,
+    )
+    return service, lock
+
+
+def make_manager_ingest_service(
+    sim: Simulator,
+    net: Network,
+    host: Host,
+    manager: Manager,
+    p: ManagerParams,
+    collector_mutex: Mutex,
+) -> Service:
+    """The Manager's ad-ingestion path (hawkeye_advertise traffic)."""
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.ad_ingest_cpu)
+        yield from _held(sim, host, collector_mutex, p.ad_ingest_hold, cpu_fraction=1.0)
+        ad = request.payload["ad"]
+        manager.receive_ad(ad, now=sim.now)
+        return Response(value={"ok": True}, size=64)
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"manager:{manager.name}:ingest",
+        handler,
+        max_threads=16,
+        backlog=256,
+    )
+
+
+# -- R-GMA ----------------------------------------------------------------
+
+
+def make_producer_servlet_service(
+    sim: Simulator, net: Network, host: Host, servlet: ProducerServlet, p: ProducerServletParams
+) -> Service:
+    """The R-GMA ProducerServlet (Experiments 1 and 3).
+
+    Queries serialize on the buffer database; the hold grows with the
+    number of attached producers (linear + quadratic mediation term).
+    """
+    db_mutex = Mutex(sim, name=f"ps:{servlet.name}:db")
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        m = len(servlet.producers)
+        hold = p.db_hold_linear * m + p.db_hold_quad * (m * m)
+        # Lock-convoy degradation past the saturation threshold (Figs 5, 7).
+        hold *= 1.0 + p.convoy_coeff * db_mutex.queue_length
+        yield from _held(sim, host, db_mutex, hold, p.db_cpu_fraction)
+        sql = "SELECT * FROM cpuLoad"
+        if isinstance(request.payload, dict):
+            sql = request.payload.get("sql", sql)
+        answer = servlet.answer(sql)
+        return Response(
+            value={"rows": len(answer.result.rows)},
+            size=answer.estimated_size(),
+        )
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"ps:{servlet.name}",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead,
+    )
+
+
+def make_consumer_servlet_service(
+    sim: Simulator,
+    net: Network,
+    host: Host,
+    name: str,
+    ps_service: Service,
+    p: ConsumerServletParams,
+) -> Service:
+    """An R-GMA ConsumerServlet forwarding mediated queries to a
+    ProducerServlet service.
+
+    Registry consultation is mediated once per distinct query and then
+    cached (R-GMA's mediation plans), so the steady-state path is
+    CS -> PS -> CS.
+    """
+    mediation_mutex = Mutex(sim, name=f"cs:{name}:mediation")
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        yield from _held(sim, host, mediation_mutex, p.mediation_hold, cpu_fraction=1.0)
+        value = yield from call(
+            sim, net, host, ps_service, request.payload, size=p.request_size
+        )
+        return Response(value=value, size=1024)
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"cs:{name}",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+    )
+
+
+def make_registry_service(
+    sim: Simulator, net: Network, host: Host, registry: Registry, p: RegistryParams
+) -> Service:
+    """The R-GMA Registry as a directory server (Experiment 2).
+
+    Thread-per-request Java over a small worker pool: queries are
+    CPU-bound, so the run queue (load1) climbs well past the other
+    directory servers' — Figures 9 and 11.
+    """
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        table = "cpuLoad"
+        if isinstance(request.payload, dict):
+            table = request.payload.get("table", table)
+        regs = registry.lookup(table, now=sim.now)
+        return Response(value={"producers": len(regs)}, size=max(256, 128 * len(regs)))
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"registry:{registry.name}",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead,
+    )

@@ -1,0 +1,111 @@
+"""The simulated Lucky/UC testbed (paper §3.1).
+
+Seven dual-PIII Linux nodes (lucky0, lucky1, lucky3..lucky7 — there was
+no lucky2) on a 100 Mbps LAN at Argonne, plus a 20-machine client
+cluster at the University of Chicago reached over a WAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import TestbedParams
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.monitor import Ganglia
+from repro.sim.network import Network
+
+__all__ = ["Testbed", "build_testbed", "LUCKY_NAMES"]
+
+# lucky{0,1,3,...,7}: the paper's seven nodes (no lucky2).
+LUCKY_NAMES = ("lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7")
+
+
+@dataclass
+class Testbed:
+    """Hosts, network and monitor of one experiment run."""
+
+    sim: Simulator
+    net: Network
+    lucky: dict[str, Host] = field(default_factory=dict)
+    uc: list[Host] = field(default_factory=list)
+    monitor: Ganglia | None = None
+
+    def host(self, name: str) -> Host:
+        """Any testbed host by name (lucky nodes or ucNN clients)."""
+        if name in self.lucky:
+            return self.lucky[name]
+        for client in self.uc:
+            if client.name == name:
+                return client
+        raise KeyError(f"no testbed host named {name!r}")
+
+    def all_hosts(self) -> list[Host]:
+        return list(self.lucky.values()) + list(self.uc)
+
+
+def build_testbed(
+    sim: Simulator,
+    params: TestbedParams,
+    *,
+    monitor_interval: float = 5.0,
+    monitored: tuple[str, ...] | None = None,
+) -> Testbed:
+    """Construct the Lucky + UC topology inside ``sim``.
+
+    ``monitored`` restricts Ganglia sampling to named hosts (sampling
+    all 27 hosts is wasted work when one server is under study).
+    """
+    net = Network(sim, default_latency=params.lan_latency)
+    net.set_latency("anl", "uc", params.wan_latency)
+    net.add_shared_link("anl", "uc", params.wan_mbps)
+
+    testbed = Testbed(sim=sim, net=net)
+    for name in LUCKY_NAMES:
+        testbed.lucky[name] = Host(
+            sim,
+            f"{name}.mcs.anl.gov",
+            cpus=params.lucky_cpus,
+            cpu_rate=params.lucky_cpu_rate,
+            nic_mbps=params.lucky_nic_mbps,
+            mem_mb=params.lucky_mem_mb,
+            site="anl",
+        )
+    # Keep short aliases too: testbed.lucky["lucky3"].
+    testbed.lucky = {name: testbed.lucky[name] for name in LUCKY_NAMES}
+    for i in range(params.uc_client_machines):
+        # Fifteen faster clients, five slower ones (paper §3.1).
+        rate = params.uc_cpu_rate if i < 15 else params.uc_cpu_rate * 0.7
+        testbed.uc.append(
+            Host(
+                sim,
+                f"uc{i:02d}.cs.uchicago.edu",
+                cpus=params.uc_cpus,
+                cpu_rate=rate,
+                nic_mbps=params.uc_nic_mbps,
+                mem_mb=params.uc_mem_mb,
+                site="uc",
+            )
+        )
+    hosts = testbed.all_hosts()
+    if monitored is not None:
+        wanted = set(monitored)
+        hosts = [h for h in hosts if h.name in wanted or h.name.split(".")[0] in wanted]
+    testbed.monitor = Ganglia(sim, hosts, interval=monitor_interval)
+    return testbed
+
+
+def assign_users_to_clients(
+    n_users: int, machines: list[Host], max_per_machine: int
+) -> list[Host]:
+    """Spread users over client machines as the study did (§3.1):
+    "evenly divide the number of simulated users by the number of
+    machines to balance the load, with a maximum of 50 users per
+    machine"."""
+    capacity = len(machines) * max_per_machine
+    if n_users > capacity:
+        raise ValueError(
+            f"{n_users} users exceed client capacity {capacity} "
+            f"({len(machines)} machines x {max_per_machine})"
+        )
+    return [machines[i % len(machines)] for i in range(n_users)]

@@ -1,0 +1,144 @@
+"""Trace-driven (open-loop) workload replay.
+
+The paper's workload is closed-loop: each user blocks, then waits 1 s
+(§3.1).  Real monitoring deployments also see *open-loop* traffic —
+cron-driven pollers, portals, schedulers — whose arrival times don't
+react to server latency.  This module replays a recorded arrival trace
+against any simulated service, which both supports the "additional
+patterns of user access" future work (§4) with real traces and lets
+users stress a deployment with traffic captured from their own grid.
+
+Trace format: CSV with header ``time,user[,payload]`` — seconds since
+trace start, an opaque user id, and an optional payload string.
+"""
+
+from __future__ import annotations
+
+import io
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_REFUSED,
+    OUTCOME_TIMEOUT,
+    RequestLog,
+)
+from repro.errors import ReproError, RequestTimeoutError, ServiceUnavailableError
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network
+from repro.sim.rpc import Service, call
+
+__all__ = [
+    "TraceEntry",
+    "load_trace",
+    "dump_trace",
+    "synthesize_poisson_trace",
+    "replay_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded request arrival."""
+
+    time: float
+    user: int
+    payload: str = ""
+
+
+def load_trace(source: str | io.TextIOBase) -> list[TraceEntry]:
+    """Parse a ``time,user[,payload]`` CSV; returns time-sorted entries."""
+    text = source.read() if hasattr(source, "read") else source
+    entries: list[TraceEntry] = []
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ReproError("empty trace")
+    start = 0
+    if lines[0].lower().replace(" ", "").startswith("time,user"):
+        start = 1
+    for lineno, line in enumerate(lines[start:], start=start + 1):
+        parts = [p.strip() for p in line.split(",", 2)]
+        if len(parts) < 2:
+            raise ReproError(f"trace line {lineno}: need time,user — got {line!r}")
+        try:
+            when = float(parts[0])
+            user = int(parts[1])
+        except ValueError as exc:
+            raise ReproError(f"trace line {lineno}: {exc}") from exc
+        if when < 0:
+            raise ReproError(f"trace line {lineno}: negative time {when}")
+        entries.append(TraceEntry(when, user, parts[2] if len(parts) > 2 else ""))
+    entries.sort(key=lambda e: (e.time, e.user))
+    return entries
+
+
+def dump_trace(entries: _t.Iterable[TraceEntry]) -> str:
+    """Serialize entries back to the CSV format (with header)."""
+    lines = ["time,user,payload"]
+    for entry in entries:
+        lines.append(f"{entry.time:.6f},{entry.user},{entry.payload}")
+    return "\n".join(lines) + "\n"
+
+
+def synthesize_poisson_trace(
+    rate: float,
+    duration: float,
+    users: int,
+    rng: np.random.Generator,
+) -> list[TraceEntry]:
+    """A Poisson arrival trace at ``rate`` req/s spread over ``users``."""
+    if rate <= 0 or duration <= 0 or users <= 0:
+        raise ReproError("rate, duration and users must be positive")
+    entries: list[TraceEntry] = []
+    t = float(rng.exponential(1.0 / rate))
+    while t < duration:
+        entries.append(TraceEntry(t, int(rng.integers(0, users))))
+        t += float(rng.exponential(1.0 / rate))
+    return entries
+
+
+def replay_trace(
+    sim: Simulator,
+    net: Network,
+    entries: _t.Sequence[TraceEntry],
+    service: Service,
+    clients: _t.Sequence[Host],
+    *,
+    log: RequestLog,
+    payload_fn: _t.Callable[[TraceEntry], _t.Any] | None = None,
+    request_size: int = 512,
+    timeout: float | None = None,
+) -> int:
+    """Schedule every trace entry as an independent (open-loop) request.
+
+    Each entry's request is issued from ``clients[user % len(clients)]``
+    at exactly its recorded time, regardless of earlier outcomes —
+    that's what makes open-loop overload qualitatively harsher than the
+    paper's closed loop.  Returns the number of requests scheduled.
+    """
+    if not clients:
+        raise ReproError("replay_trace needs at least one client host")
+
+    def one_shot(entry: TraceEntry) -> _t.Generator:
+        yield sim.timeout(entry.time)
+        client = clients[entry.user % len(clients)]
+        started = sim.now
+        payload = payload_fn(entry) if payload_fn is not None else entry.payload
+        try:
+            yield from call(sim, net, client, service, payload, size=request_size, timeout=timeout)
+            log.add(entry.user, started, sim.now, OUTCOME_OK)
+        except ServiceUnavailableError:
+            log.add(entry.user, started, sim.now, OUTCOME_REFUSED)
+        except RequestTimeoutError:
+            log.add(entry.user, started, sim.now, OUTCOME_TIMEOUT)
+        except Exception:
+            log.add(entry.user, started, sim.now, OUTCOME_ERROR)
+
+    for entry in entries:
+        sim.spawn(one_shot(entry), name=f"trace:{entry.user}@{entry.time:.3f}")
+    return len(entries)

@@ -1,0 +1,142 @@
+"""The Hawkeye Monitoring Agent.
+
+"A Monitoring Agent is a distributed information service component that
+collects ClassAds from each of its Modules and then integrates them
+into a single Startd ClassAd.  At fixed intervals, the Agent sends the
+Startd ClassAd to its registered Manager" (paper §2.3).
+
+The Agent does *not* keep an indexed resident database — the paper
+attributes its query latency precisely to having "to retrieve new
+information for each query" (§3.3) — so :meth:`query` re-collects its
+modules every time and reports the work done.
+
+Hard limit: "The maximum number of Modules currently able to register
+to an Agent was 98, adding another Module caused the Startd to crash"
+(§3.5) — reproduced by ``MAX_MODULES``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.classad import ClassAd
+from repro.errors import ServiceCrashError
+from repro.hawkeye.modules import Module
+
+__all__ = ["Agent", "AgentAnswer", "MAX_MODULES"]
+
+MAX_MODULES = 98  # the paper's observed Startd crash threshold
+
+DEFAULT_ADVERTISE_INTERVAL = 30.0  # seconds between Startd ads (paper §3.6)
+
+
+@dataclass
+class AgentAnswer:
+    """One Agent query answer plus the work it caused."""
+
+    ad: ClassAd
+    modules_run: int = 0
+    exec_cost: float = 0.0  # module sensor CPU charged
+    integration_ops: int = 0  # attribute merges performed
+
+    def estimated_size(self) -> int:
+        return self.ad.estimated_size()
+
+
+class Agent:
+    """Per-machine collector integrating Module ads into a Startd ad."""
+
+    def __init__(
+        self,
+        machine: str,
+        modules: _t.Sequence[Module] = (),
+        *,
+        advertise_interval: float = DEFAULT_ADVERTISE_INTERVAL,
+        seed: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.modules: list[Module] = []
+        self.advertise_interval = advertise_interval
+        self._rng = np.random.default_rng(seed)
+        self.crashed = False
+        self.queries = 0
+        self.ads_sent = 0
+        for module in modules:
+            self.add_module(module)
+
+    def add_module(self, module: Module) -> None:
+        """Register one more module; crashes the Startd past 98."""
+        self._check_alive()
+        if len(self.modules) >= MAX_MODULES:
+            self.crashed = True
+            raise ServiceCrashError(
+                f"Startd on {self.machine} crashed: module limit {MAX_MODULES} exceeded"
+            )
+        self.modules.append(module)
+
+    @property
+    def module_count(self) -> int:
+        return len(self.modules)
+
+    # -- the core operations ----------------------------------------------------
+    def integrate(self, now: float = 0.0) -> AgentAnswer:
+        """Collect every module and merge into a single Startd ClassAd.
+
+        Integration cost grows superlinearly with the module count: each
+        fragment merge rescans the accumulating ad (the behaviour behind
+        the paper's Experiment-3 collapse past ~60 collectors).
+        """
+        self._check_alive()
+        startd = ClassAd(
+            {
+                "MyType": "Machine",
+                "TargetType": "Job",
+                "Name": self.machine,
+                "Machine": self.machine,
+                "OpSys": "LINUX",
+                "Arch": "INTEL",
+                "LastHeardFrom": now,
+            }
+        )
+        answer = AgentAnswer(ad=startd)
+        for module in self.modules:
+            fragment = module.collect(self.machine, self._rng, now)
+            # Merging rescans the accumulated ad: O(m^2) total.
+            answer.integration_ops += len(startd) + len(fragment)
+            startd.update(fragment)
+            answer.modules_run += 1
+            answer.exec_cost += module.exec_cost
+        return answer
+
+    def query(self, now: float = 0.0) -> AgentAnswer:
+        """Answer a direct client query (fresh collection every time)."""
+        self.queries += 1
+        return self.integrate(now)
+
+    def query_module(self, module_name: str, now: float = 0.0) -> AgentAnswer:
+        """Answer a query about one particular Module (paper §2.3)."""
+        self._check_alive()
+        self.queries += 1
+        for module in self.modules:
+            if module.name == module_name:
+                fragment = module.collect(self.machine, self._rng, now)
+                return AgentAnswer(
+                    ad=fragment,
+                    modules_run=1,
+                    exec_cost=module.exec_cost,
+                    integration_ops=len(fragment),
+                )
+        raise KeyError(f"no module {module_name!r} on agent {self.machine}")
+
+    def make_startd_ad(self, now: float = 0.0) -> tuple[ClassAd, AgentAnswer]:
+        """Build the periodic Startd ad sent to the Manager."""
+        answer = self.integrate(now)
+        self.ads_sent += 1
+        return answer.ad, answer
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise ServiceCrashError(f"Startd on {self.machine} has crashed")

@@ -1,0 +1,84 @@
+"""Trigger ClassAds: Hawkeye's problem-detection mechanism.
+
+"A Trigger ClassAd specifies an event and a job to execute if the event
+occurs" (paper §2.3).  The Manager matchmakes each Trigger against every
+Startd ad; a match fires the trigger's job (e.g. the paper's example of
+killing Netscape on machines with CPU load over 50, or notifying an
+administrator by email — §3.7).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.classad import ClassAd, match
+
+__all__ = ["Trigger", "TriggerFiring", "TriggerEngine"]
+
+# A trigger job receives the matched Startd ad.
+TriggerJob = _t.Callable[[ClassAd], None]
+
+
+@dataclass(frozen=True)
+class TriggerFiring:
+    """Record of one trigger firing against one machine."""
+
+    trigger_name: str
+    machine: str
+    time: float
+
+
+@dataclass
+class Trigger:
+    """One Trigger ClassAd plus the job to run on a match."""
+
+    name: str
+    ad: ClassAd
+    job: TriggerJob
+    firings: list[TriggerFiring] = field(default_factory=list)
+
+    @classmethod
+    def from_requirements(cls, name: str, requirements: str, job: TriggerJob) -> "Trigger":
+        """Build a trigger from a bare Requirements expression."""
+        ad = ClassAd({"MyType": "Trigger", "Name": name})
+        ad.set_expr("Requirements", requirements)
+        return cls(name=name, ad=ad, job=job)
+
+
+class TriggerEngine:
+    """Matches submitted triggers against a pool of Startd ads."""
+
+    def __init__(self) -> None:
+        self._triggers: dict[str, Trigger] = {}
+        self.evaluations = 0
+
+    def submit(self, trigger: Trigger) -> None:
+        """Register (or replace) a trigger by name."""
+        self._triggers[trigger.name] = trigger
+
+    def withdraw(self, name: str) -> bool:
+        return self._triggers.pop(name, None) is not None
+
+    @property
+    def trigger_count(self) -> int:
+        return len(self._triggers)
+
+    def triggers(self) -> list[Trigger]:
+        return list(self._triggers.values())
+
+    def check(self, ads: _t.Iterable[ClassAd], now: float = 0.0) -> list[TriggerFiring]:
+        """Matchmake every trigger against every ad; fire jobs on matches."""
+        fired: list[TriggerFiring] = []
+        ads = list(ads)
+        for trigger in self._triggers.values():
+            for ad in ads:
+                result = match(trigger.ad, ad)
+                self.evaluations += result.ops
+                if result.matched:
+                    machine = str(ad.get_scalar("Machine", ad.get_scalar("Name", "?")))
+                    firing = TriggerFiring(trigger.name, machine, now)
+                    trigger.firings.append(firing)
+                    fired.append(firing)
+                    trigger.job(ad)
+        return fired

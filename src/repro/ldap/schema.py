@@ -1,0 +1,44 @@
+"""The MDS 2.1 GLUE-less schema used by the default information providers.
+
+MDS 2.1 shipped a set of ``Mds-*`` object classes describing hosts,
+CPUs, memory, filesystems, network interfaces and the OS.  We model the
+attribute vocabulary that the paper's "10 default information
+providers" expose so GRIS entries look like real ``grid-info-search``
+output and carry realistic attribute counts/sizes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MDS_VO_SUFFIX",
+    "DEVICE_OBJECTCLASSES",
+    "host_dn_text",
+    "device_dn_text",
+]
+
+# Every MDS deployment in the study published under the local VO suffix.
+MDS_VO_SUFFIX = "Mds-Vo-name=local, o=grid"
+
+# Object class advertised by each default device-level provider.
+DEVICE_OBJECTCLASSES: dict[str, str] = {
+    "cpu": "MdsCpu",
+    "memory": "MdsMemory",
+    "filesystem": "MdsFilesystem",
+    "network": "MdsNet",
+    "os": "MdsOs",
+    "cpu-free": "MdsCpuFree",
+    "memory-vm": "MdsMemoryVm",
+    "storage": "MdsStorage",
+    "queue": "MdsQueue",
+    "software": "MdsSoftwareDeployment",
+}
+
+
+def host_dn_text(hostname: str) -> str:
+    """DN of a host entry under the local VO."""
+    return f"Mds-Host-hn={hostname}, {MDS_VO_SUFFIX}"
+
+
+def device_dn_text(hostname: str, device: str) -> str:
+    """DN of a device entry beneath its host entry."""
+    return f"Mds-Device-name={device}, {host_dn_text(hostname)}"

@@ -1,0 +1,33 @@
+"""MDS 2.1: information providers, GRIS and GIIS (paper §2.1).
+
+Functional re-implementation of the Globus Monitoring and Discovery
+Service hierarchy: providers generate LDAP entries, the GRIS gates and
+caches them per resource, the GIIS aggregates registered GRIS with soft
+state.  Timing is charged by the simulation layer (``repro.core``).
+"""
+
+from repro.mds.cache import CacheStats, TtlCache
+from repro.mds.giis import GIIS, GiisResult
+from repro.mds.gris import GRIS, GrisResult
+from repro.mds.providers import (
+    DEFAULT_PROVIDER_NAMES,
+    InformationProvider,
+    make_default_providers,
+    replicated_providers,
+)
+from repro.mds.registration import Registration, RegistrationTable
+
+__all__ = [
+    "InformationProvider",
+    "make_default_providers",
+    "replicated_providers",
+    "DEFAULT_PROVIDER_NAMES",
+    "TtlCache",
+    "CacheStats",
+    "GRIS",
+    "GrisResult",
+    "GIIS",
+    "GiisResult",
+    "Registration",
+    "RegistrationTable",
+]

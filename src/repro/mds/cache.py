@@ -1,0 +1,76 @@
+"""TTL caching, the mechanism the paper finds decisive for MDS scaling.
+
+Both the GRIS (caching provider output) and the GIIS (caching data
+pulled from registered GRIS) use time-to-live caches controlled by the
+``cachettl`` parameter — the knob the paper turns between the
+"cache"/"nocache" GRIS configurations (§3.3) and sets "to a very large
+value" to isolate GIIS directory behaviour (§3.4).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+__all__ = ["TtlCache", "CacheStats"]
+
+V = _t.TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Cumulative hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TtlCache(_t.Generic[V]):
+    """Map with per-entry expiry at ``insert_time + ttl``.
+
+    ``ttl=0`` disables caching entirely (every lookup misses);
+    ``ttl=float('inf')`` never expires (the paper's "always in cache").
+    """
+
+    def __init__(self, ttl: float) -> None:
+        if ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
+        self.ttl = ttl
+        self._store: dict[_t.Any, tuple[float, V]] = {}
+        self.stats = CacheStats()
+
+    def get(self, key: _t.Any, now: float) -> V | None:
+        """Value if fresh at time ``now``, else None (counted as a miss)."""
+        if self.ttl > 0:
+            item = self._store.get(key)
+            if item is not None:
+                expires, value = item
+                if now < expires:
+                    self.stats.hits += 1
+                    return value
+                del self._store[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: _t.Any, value: V, now: float) -> None:
+        """Insert ``value`` valid until ``now + ttl`` (no-op when ttl=0)."""
+        if self.ttl <= 0:
+            return
+        self._store[key] = (now + self.ttl, value)
+
+    def invalidate(self, key: _t.Any) -> None:
+        self._store.pop(key, None)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,80 @@
+"""Soft-state registration, the glue of the MDS hierarchy.
+
+"Each service registers with others using a soft-state protocol that
+allows dynamic cleaning of dead resources" (paper §2.1).  A
+:class:`Registration` carries a pull callback plus a lease; the registry
+side sweeps leases that were not renewed.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+__all__ = ["Registration", "RegistrationTable"]
+
+# MDS 2.1 default registration TTL (seconds).
+DEFAULT_REG_TTL = 600.0
+
+
+@dataclass
+class Registration:
+    """One downstream service registered with an aggregate directory."""
+
+    name: str
+    puller: _t.Callable[..., _t.Any]
+    ttl: float = DEFAULT_REG_TTL
+    registered_at: float = 0.0
+    renewals: int = 0
+
+    def expires_at(self) -> float:
+        return self.registered_at + self.ttl
+
+    def alive(self, now: float) -> bool:
+        return now < self.expires_at()
+
+    def renew(self, now: float) -> None:
+        self.registered_at = now
+        self.renewals += 1
+
+
+@dataclass
+class RegistrationTable:
+    """Ordered table of registrations with soft-state sweeping."""
+
+    _regs: dict[str, Registration] = field(default_factory=dict)
+    sweeps: int = 0
+
+    def add(self, registration: Registration) -> None:
+        self._regs[registration.name] = registration
+
+    def renew(self, name: str, now: float) -> bool:
+        reg = self._regs.get(name)
+        if reg is None:
+            return False
+        reg.renew(now)
+        return True
+
+    def remove(self, name: str) -> bool:
+        return self._regs.pop(name, None) is not None
+
+    def sweep(self, now: float) -> list[str]:
+        """Drop expired registrations; returns the removed names."""
+        self.sweeps += 1
+        dead = [name for name, reg in self._regs.items() if not reg.alive(now)]
+        for name in dead:
+            del self._regs[name]
+        return dead
+
+    def alive(self, now: float) -> list[Registration]:
+        """Live registrations in registration order."""
+        return [reg for reg in self._regs.values() if reg.alive(now)]
+
+    def get(self, name: str) -> Registration | None:
+        return self._regs.get(name)
+
+    def __len__(self) -> int:
+        return len(self._regs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regs

@@ -1,0 +1,244 @@
+"""Query execution over :class:`~repro.relational.table.Table`.
+
+The executor evaluates WHERE trees with SQL NULL semantics (three-valued
+logic), uses hash indexes for top-level ``col = literal`` conjuncts, and
+reports rows examined per query so the simulation can charge
+proportional CPU.
+"""
+
+from __future__ import annotations
+
+import re
+import typing as _t
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.relational.sqlast import (
+    ColumnRef,
+    Comparison,
+    Constant,
+    InList,
+    IsNull,
+    Like,
+    LogicalOp,
+    NotOp,
+    SelectStmt,
+    SqlExpr,
+)
+from repro.relational.table import Table
+from repro.relational.types import SqlValue
+
+__all__ = ["ResultSet", "execute_select", "eval_predicate", "select_rowids"]
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """Rows plus execution metadata."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple[SqlValue, ...]]
+    rows_examined: int
+    index_used: bool
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> list[dict[str, SqlValue]]:
+        """Rows as name→value dicts (handy for assertions and consumers)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def estimated_size(self) -> int:
+        """Approximate wire size of the result in bytes."""
+        total = sum(len(c) + 2 for c in self.columns)
+        for row in self.rows:
+            total += sum(len(str(v)) + 4 for v in row)
+        return max(total, 64)
+
+
+# -- predicate evaluation (SQL three-valued logic) ---------------------------
+
+_TRUE, _FALSE, _NULL = True, False, None
+
+
+def eval_predicate(expr: SqlExpr, table: Table, row: tuple[SqlValue, ...]) -> bool | None:
+    """Evaluate a WHERE tree; returns True/False/None (NULL)."""
+    if isinstance(expr, LogicalOp):
+        left = eval_predicate(expr.left, table, row)
+        right = eval_predicate(expr.right, table, row)
+        if expr.op == "AND":
+            if left is _FALSE or right is _FALSE:
+                return _FALSE
+            if left is _NULL or right is _NULL:
+                return _NULL
+            return _TRUE
+        if left is _TRUE or right is _TRUE:
+            return _TRUE
+        if left is _NULL or right is _NULL:
+            return _NULL
+        return _FALSE
+    if isinstance(expr, NotOp):
+        inner = eval_predicate(expr.operand, table, row)
+        return _NULL if inner is _NULL else (not inner)
+    if isinstance(expr, Comparison):
+        left = _eval_operand(expr.left, table, row)
+        right = _eval_operand(expr.right, table, row)
+        if left is None or right is None:
+            return _NULL
+        return _compare(expr.op, left, right)
+    if isinstance(expr, InList):
+        value = _eval_operand(expr.operand, table, row)
+        if value is None:
+            return _NULL
+        hit = any(_compare("=", value, v) for v in expr.values if v is not None)
+        return (not hit) if expr.negated else hit
+    if isinstance(expr, Like):
+        value = _eval_operand(expr.operand, table, row)
+        if value is None:
+            return _NULL
+        hit = _like_match(str(value), expr.pattern)
+        return (not hit) if expr.negated else hit
+    if isinstance(expr, IsNull):
+        value = _eval_operand(expr.operand, table, row)
+        result = value is None
+        return (not result) if expr.negated else result
+    raise SchemaError(f"unsupported WHERE node: {type(expr).__name__}")
+
+
+def _eval_operand(expr: SqlExpr, table: Table, row: tuple[SqlValue, ...]) -> SqlValue:
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return row[table.column_position(expr.name)]
+    raise SchemaError(f"unsupported operand: {type(expr).__name__}")
+
+
+def _compare(op: str, left: SqlValue, right: SqlValue) -> bool:
+    # Numeric comparison when both coerce; else case-insensitive text.
+    a: _t.Any
+    b: _t.Any
+    try:
+        a = float(left)  # type: ignore[arg-type]
+        b = float(right)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        a = str(left).lower()
+        b = str(right).lower()
+    if op == "=":
+        return a == b
+    if op == "<>":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise SchemaError(f"unknown comparison operator {op!r}")
+
+
+def _like_match(text: str, pattern: str) -> bool:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, text, flags=re.IGNORECASE) is not None
+
+
+# -- planning -------------------------------------------------------------
+
+
+def _index_candidates(expr: SqlExpr) -> list[tuple[str, SqlValue]]:
+    """Top-level AND-conjunct ``col = literal`` pairs usable with indexes."""
+    if isinstance(expr, Comparison) and expr.op == "=":
+        if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Constant):
+            return [(expr.left.name, expr.right.value)]
+        if isinstance(expr.right, ColumnRef) and isinstance(expr.left, Constant):
+            return [(expr.right.name, expr.left.value)]
+        return []
+    if isinstance(expr, LogicalOp) and expr.op == "AND":
+        return _index_candidates(expr.left) + _index_candidates(expr.right)
+    return []
+
+
+def select_rowids(table: Table, where: SqlExpr | None) -> tuple[list[int], int, bool]:
+    """Rowids matching ``where``; returns (ids, rows_examined, index_used)."""
+    index_used = False
+    if where is not None:
+        for column, value in _index_candidates(where):
+            if not table.has_column(column):
+                raise SchemaError(f"no column {column!r} in table {table.name!r}")
+            bucket = table.lookup_index(column, value)
+            if bucket is not None:
+                index_used = True
+                examined = 0
+                hits = []
+                for rowid in sorted(bucket):
+                    examined += 1
+                    if eval_predicate(where, table, table.get_row(rowid)) is _TRUE:
+                        hits.append(rowid)
+                table.rows_scanned_total += examined
+                return hits, examined, index_used
+    hits = []
+    examined = 0
+    for rowid, row in table.rows():
+        examined += 1
+        if where is None or eval_predicate(where, table, row) is _TRUE:
+            hits.append(rowid)
+    table.rows_scanned_total += examined
+    return hits, examined, index_used
+
+
+def execute_select(table: Table, stmt: SelectStmt) -> ResultSet:
+    """Run a SELECT against one table."""
+    rowids, examined, index_used = select_rowids(table, stmt.where)
+    if stmt.count_star:
+        return ResultSet(
+            columns=("COUNT(*)",),
+            rows=[(len(rowids),)],
+            rows_examined=examined,
+            index_used=index_used,
+        )
+    if stmt.order_by:
+        def sort_key(rowid: int) -> tuple:
+            row = table.get_row(rowid)
+            key = []
+            for item in stmt.order_by:
+                value = row[table.column_position(item.column)]
+                # NULLs sort first ascending, last descending.
+                null_rank = 0 if value is None else 1
+                comparable = (null_rank, _sortable(value))
+                key.append(_Reversed(comparable) if item.descending else comparable)
+            return tuple(key)
+
+        rowids.sort(key=sort_key)
+    if stmt.limit is not None:
+        rowids = rowids[: stmt.limit]
+    if stmt.columns == ("*",):
+        out_columns = tuple(c.name for c in table.columns)
+        positions = list(range(len(table.columns)))
+    else:
+        out_columns = stmt.columns
+        positions = [table.column_position(name) for name in stmt.columns]
+    rows = [tuple(table.get_row(rid)[p] for p in positions) for rid in rowids]
+    return ResultSet(columns=out_columns, rows=rows, rows_examined=examined, index_used=index_used)
+
+
+def _sortable(value: SqlValue) -> _t.Any:
+    if value is None:
+        return 0
+    if isinstance(value, (int, float)):
+        return (0, float(value))
+    return (1, str(value).lower())
+
+
+class _Reversed:
+    """Key wrapper inverting comparison order (for DESC sort keys)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: _t.Any) -> None:
+        self.inner = inner
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.inner < self.inner
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.inner == self.inner

@@ -1,0 +1,137 @@
+"""AST node definitions for the SQL subset."""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+__all__ = [
+    "SqlExpr",
+    "ColumnRef",
+    "Constant",
+    "Comparison",
+    "LogicalOp",
+    "NotOp",
+    "InList",
+    "Like",
+    "IsNull",
+    "SelectStmt",
+    "InsertStmt",
+    "CreateTableStmt",
+    "DeleteStmt",
+    "OrderItem",
+]
+
+
+class SqlExpr:
+    """Base class of WHERE-clause expression nodes."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """A column reference (case-insensitive)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Constant(SqlExpr):
+    """A literal: number, string or NULL."""
+
+    value: _t.Union[int, float, str, None]
+
+
+@dataclass(frozen=True)
+class Comparison(SqlExpr):
+    """``left <op> right`` where op ∈ {=, <>, <, <=, >, >=}."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class LogicalOp(SqlExpr):
+    """``AND`` / ``OR`` over two sub-expressions."""
+
+    op: str  # "AND" | "OR"
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class NotOp(SqlExpr):
+    """``NOT expr``."""
+
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class InList(SqlExpr):
+    """``col IN (v1, v2, ...)`` (optionally negated)."""
+
+    operand: SqlExpr
+    values: tuple[_t.Any, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(SqlExpr):
+    """``col LIKE 'pat%'`` with % and _ wildcards (optionally negated)."""
+
+    operand: SqlExpr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(SqlExpr):
+    """``col IS [NOT] NULL``."""
+
+    operand: SqlExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """``SELECT cols FROM table [WHERE ...] [ORDER BY ...] [LIMIT n]``."""
+
+    table: str
+    columns: tuple[str, ...]  # ("*",) for all
+    where: SqlExpr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    count_star: bool = False  # SELECT COUNT(*)
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    """``INSERT INTO table [(cols)] VALUES (...), (...)``."""
+
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[_t.Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    """``CREATE TABLE name (col TYPE, ...)``."""
+
+    table: str
+    columns: tuple[tuple[str, str], ...]  # (name, raw type)
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """``DELETE FROM table [WHERE ...]``."""
+
+    table: str
+    where: SqlExpr | None = None

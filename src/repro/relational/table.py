@@ -1,0 +1,139 @@
+"""In-memory tables with optional hash indexes.
+
+Rows are stored as tuples in insertion order; equality indexes map a
+column value to the set of row ids holding it.  The executor consults
+indexes for ``col = literal`` predicates and reports how many rows it
+actually examined, which feeds the study's cost models.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SchemaError
+from repro.relational.types import Column, ColumnType, SqlValue, coerce
+
+__all__ = ["Table"]
+
+
+class Table:
+    """One relational table: schema, rows, and equality indexes."""
+
+    def __init__(self, name: str, columns: _t.Sequence[Column]) -> None:
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        seen: set[str] = set()
+        for column in columns:
+            if column.key in seen:
+                raise SchemaError(f"duplicate column {column.name!r} in table {name!r}")
+            seen.add(column.key)
+        self.name = name
+        self.columns = tuple(columns)
+        self._index_of = {c.key: i for i, c in enumerate(self.columns)}
+        self._rows: dict[int, tuple[SqlValue, ...]] = {}
+        self._next_rowid = 0
+        self._indexes: dict[str, dict[SqlValue, set[int]]] = {}
+        self.rows_scanned_total = 0  # cumulative cost counter
+
+    # -- schema -----------------------------------------------------------------
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index_of[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no column {name!r} in table {self.name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index_of
+
+    # -- indexing ---------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        """Build (or rebuild) a hash index over ``column``."""
+        position = self.column_position(column)
+        index: dict[SqlValue, set[int]] = {}
+        for rowid, row in self._rows.items():
+            index.setdefault(_norm(row[position]), set()).add(rowid)
+        self._indexes[column.lower()] = index
+
+    def indexed_columns(self) -> list[str]:
+        return list(self._indexes)
+
+    # -- mutation ---------------------------------------------------------------
+    def insert(self, values: _t.Sequence[SqlValue], columns: _t.Sequence[str] | None = None) -> int:
+        """Insert one row; returns its rowid.
+
+        ``columns`` names the supplied values; omitted columns get NULL.
+        """
+        if columns is None:
+            if len(values) != len(self.columns):
+                raise SchemaError(
+                    f"table {self.name!r} has {len(self.columns)} columns, got {len(values)} values"
+                )
+            row = tuple(coerce(v, c) for v, c in zip(values, self.columns))
+        else:
+            if len(values) != len(columns):
+                raise SchemaError("column list and value list lengths differ")
+            slots: list[SqlValue] = [None] * len(self.columns)
+            for name, value in zip(columns, values):
+                position = self.column_position(name)
+                slots[position] = coerce(value, self.columns[position])
+            row = tuple(slots)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        for column_key, index in self._indexes.items():
+            position = self._index_of[column_key]
+            index.setdefault(_norm(row[position]), set()).add(rowid)
+        return rowid
+
+    def delete_rows(self, rowids: _t.Iterable[int]) -> int:
+        """Remove the given rows; returns how many existed."""
+        removed = 0
+        for rowid in list(rowids):
+            row = self._rows.pop(rowid, None)
+            if row is None:
+                continue
+            removed += 1
+            for column_key, index in self._indexes.items():
+                position = self._index_of[column_key]
+                bucket = index.get(_norm(row[position]))
+                if bucket:
+                    bucket.discard(rowid)
+        return removed
+
+    def clear(self) -> None:
+        """Drop all rows (keeps schema and index definitions)."""
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- access -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> _t.Iterator[tuple[int, tuple[SqlValue, ...]]]:
+        """(rowid, row) pairs in insertion order."""
+        return iter(sorted(self._rows.items()))
+
+    def lookup_index(self, column: str, value: SqlValue) -> set[int] | None:
+        """Row ids with ``column == value`` via index, or None if unindexed."""
+        index = self._indexes.get(column.lower())
+        if index is None:
+            return None
+        return set(index.get(_norm(value), set()))
+
+    def get_row(self, rowid: int) -> tuple[SqlValue, ...]:
+        return self._rows[rowid]
+
+    def estimated_row_size(self) -> int:
+        """Mean serialized row size in bytes (for network cost models)."""
+        if not self._rows:
+            return 16 * len(self.columns)
+        sample = next(iter(self._rows.values()))
+        return sum(len(str(v)) + 4 for v in sample)
+
+
+def _norm(value: SqlValue) -> SqlValue:
+    """Index key normalization: case-insensitive strings."""
+    if isinstance(value, str):
+        return value.lower()
+    return value

@@ -1,0 +1,80 @@
+"""Column types and value coercion for the mini relational engine."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SchemaError
+
+__all__ = ["ColumnType", "Column", "coerce", "SqlValue"]
+
+SqlValue = _t.Union[int, float, str, None]
+
+
+class ColumnType:
+    """Supported SQL column types."""
+
+    INT = "INT"
+    REAL = "REAL"
+    TEXT = "TEXT"
+
+    ALL = (INT, REAL, TEXT)
+
+    # Synonyms accepted by the DDL parser (MySQL-flavoured, as R-GMA used).
+    SYNONYMS = {
+        "INT": INT,
+        "INTEGER": INT,
+        "BIGINT": INT,
+        "SMALLINT": INT,
+        "REAL": REAL,
+        "FLOAT": REAL,
+        "DOUBLE": REAL,
+        "TEXT": TEXT,
+        "VARCHAR": TEXT,
+        "CHAR": TEXT,
+        "STRING": TEXT,
+    }
+
+    @classmethod
+    def normalize(cls, name: str) -> str:
+        base = name.strip().upper()
+        # Strip length suffix: VARCHAR(255) -> VARCHAR
+        if "(" in base:
+            base = base[: base.index("(")]
+        try:
+            return cls.SYNONYMS[base]
+        except KeyError:
+            raise SchemaError(f"unknown column type: {name!r}") from None
+
+
+class Column(_t.NamedTuple):
+    """One column definition: name plus normalized type."""
+
+    name: str
+    type: str
+
+    @property
+    def key(self) -> str:
+        """Case-insensitive lookup key."""
+        return self.name.lower()
+
+
+def coerce(value: SqlValue, column: Column) -> SqlValue:
+    """Coerce ``value`` to the column's type; NULL passes through.
+
+    Raises :class:`SchemaError` on impossible conversions.
+    """
+    if value is None:
+        return None
+    try:
+        if column.type == ColumnType.INT:
+            if isinstance(value, str):
+                return int(float(value))
+            return int(value)
+        if column.type == ColumnType.REAL:
+            return float(value)
+        return str(value)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(
+            f"cannot store {value!r} in {column.type} column {column.name!r}"
+        ) from exc

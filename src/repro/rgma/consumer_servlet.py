@@ -1,0 +1,135 @@
+"""The ConsumerServlet and its mediator.
+
+"The ConsumerServlet consults the Registry to find suitable Producers.
+Then the ConsumerServlet acting on behalf of the Consumer issues new
+queries to the located Producers to request and return the data to the
+Consumer" (paper §2.2).  :class:`MediatedAnswer` keeps the full
+mediation trace (registry lookups, servlets contacted, rows merged) for
+the cost models.
+
+The testbed artifact the paper describes — one ConsumerServlet could
+support only ~120 Consumers — is modelled by ``max_consumers``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.errors import RegistryError, SqlError
+from repro.relational import ResultSet, SelectStmt, parse_sql
+from repro.rgma.producer_servlet import ProducerServlet
+from repro.rgma.registry import Registry
+
+__all__ = ["ConsumerServlet", "MediatedAnswer", "Consumer"]
+
+DEFAULT_MAX_CONSUMERS = 120  # the study's observed per-servlet consumer limit
+
+
+@dataclass
+class MediatedAnswer:
+    """Merged rows plus the mediation work that produced them."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    producers_matched: int = 0
+    servlets_contacted: list[str] = field(default_factory=list)
+    rows_examined: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> list[dict[str, _t.Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def estimated_size(self) -> int:
+        total = sum(len(c) + 2 for c in self.columns)
+        for row in self.rows:
+            total += sum(len(str(v)) + 4 for v in row)
+        return max(total, 64)
+
+
+class ConsumerServlet:
+    """Mediates consumer SQL across the registered producers."""
+
+    def __init__(
+        self,
+        name: str,
+        registry: Registry,
+        servlet_resolver: _t.Callable[[str], ProducerServlet],
+        *,
+        max_consumers: int = DEFAULT_MAX_CONSUMERS,
+    ) -> None:
+        self.name = name
+        self.registry = registry
+        self.servlet_resolver = servlet_resolver
+        self.max_consumers = max_consumers
+        self._consumers: dict[str, "Consumer"] = {}
+        self.queries_mediated = 0
+
+    # -- consumer lifecycle -------------------------------------------------
+    def attach(self, consumer: "Consumer") -> None:
+        """Attach a consumer; enforces the per-servlet capacity limit."""
+        if len(self._consumers) >= self.max_consumers:
+            raise RegistryError(
+                f"ConsumerServlet {self.name} is full "
+                f"({self.max_consumers} consumers) — the paper hit this at ~120"
+            )
+        self._consumers[consumer.consumer_id] = consumer
+        consumer.servlet = self
+
+    def detach(self, consumer_id: str) -> bool:
+        consumer = self._consumers.pop(consumer_id, None)
+        if consumer is not None:
+            consumer.servlet = None
+            return True
+        return False
+
+    @property
+    def consumer_count(self) -> int:
+        return len(self._consumers)
+
+    # -- mediation ------------------------------------------------------------
+    def query(self, sql: str, *, now: float = 0.0) -> MediatedAnswer:
+        """Mediate one SELECT: registry lookup → servlet fan-out → merge."""
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise SqlError("consumers may only issue SELECT statements")
+        self.queries_mediated += 1
+        registrations = self.registry.lookup(stmt.table, now=now)
+        servlet_names: list[str] = []
+        for reg in registrations:
+            if reg.servlet not in servlet_names:
+                servlet_names.append(reg.servlet)
+        answer = MediatedAnswer(columns=(), rows=[], producers_matched=len(registrations))
+        for servlet_name in servlet_names:
+            servlet = self.servlet_resolver(servlet_name)
+            part = servlet.answer(stmt)
+            answer.servlets_contacted.append(servlet_name)
+            answer.rows_examined += part.result.rows_examined
+            if not answer.columns:
+                answer.columns = part.result.columns
+            answer.rows.extend(part.result.rows)
+        if not answer.columns:
+            # No producers: empty result with schema-derived columns.
+            described = self.registry.describe(stmt.table)
+            if stmt.columns == ("*",):
+                answer.columns = tuple(c for c, _t_ in described)
+            else:
+                answer.columns = stmt.columns
+        return answer
+
+
+class Consumer:
+    """A thin client that issues SELECTs through a ConsumerServlet."""
+
+    def __init__(self, consumer_id: str) -> None:
+        self.consumer_id = consumer_id
+        self.servlet: ConsumerServlet | None = None
+        self.queries_issued = 0
+
+    def query(self, sql: str, *, now: float = 0.0) -> MediatedAnswer:
+        if self.servlet is None:
+            raise RegistryError(f"consumer {self.consumer_id!r} is not attached to a servlet")
+        self.queries_issued += 1
+        return self.servlet.query(sql, now=now)

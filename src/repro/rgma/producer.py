@@ -1,0 +1,91 @@
+"""R-GMA Producers: the information collectors of the relational model.
+
+A Producer "advertises a table name and the row(s) of a table to the
+Registry" (paper §2.2) and publishes measurement tuples through its
+ProducerServlet.  Here a producer generates realistic monitoring rows
+from a seeded RNG — the equivalent of the 10 local producers the study
+ran per ProducerServlet.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.errors import RegistryError
+from repro.rgma.schema import GLOBAL_SCHEMA, STREAM_TABLES
+
+__all__ = ["Producer", "make_default_producers"]
+
+
+class Producer:
+    """One measurement stream publishing rows of a global-schema table."""
+
+    def __init__(
+        self,
+        producer_id: str,
+        table: str,
+        hostname: str,
+        *,
+        predicate: str = "",
+        seed: int = 0,
+    ) -> None:
+        if table not in GLOBAL_SCHEMA:
+            raise RegistryError(f"table {table!r} is not in the global schema")
+        self.producer_id = producer_id
+        self.table = table
+        self.hostname = hostname
+        # The fixed-attribute predicate advertised to the Registry, e.g.
+        # "WHERE hostName = 'lucky3'".
+        self.predicate = predicate or f"WHERE hostName = '{hostname}'"
+        self._rng = np.random.default_rng(seed)
+        self.rows_published = 0
+
+    def measure(self, now: float) -> dict[str, _t.Any]:
+        """Produce one measurement row for this producer's table."""
+        self.rows_published += 1
+        rng = self._rng
+        base: dict[str, _t.Any] = {
+            "producerId": self.producer_id,
+            "hostName": self.hostname,
+            "timestamp": now,
+        }
+        if self.table == "cpuLoad":
+            load1 = float(rng.uniform(0.0, 2.0))
+            base.update(load1=round(load1, 3), load5=round(load1 * 0.9, 3), load15=round(load1 * 0.8, 3))
+        elif self.table == "memoryUsage":
+            base.update(totalMB=512, freeMB=int(rng.integers(32, 480)))
+        elif self.table == "networkTraffic":
+            base.update(interface="eth0", rxKBps=float(rng.uniform(0, 12_500)), txKBps=float(rng.uniform(0, 12_500)))
+        elif self.table == "diskUsage":
+            base.update(mountPoint="/home", totalMB=17_000, freeMB=int(rng.integers(1_000, 16_000)))
+        elif self.table == "processCount":
+            base.update(running=int(rng.integers(1, 40)), blocked=int(rng.integers(0, 10)))
+        return base
+
+    def columns(self) -> tuple[str, ...]:
+        return tuple(col for col, _typ in GLOBAL_SCHEMA[self.table])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Producer {self.producer_id} table={self.table}>"
+
+
+def make_default_producers(hostname: str, count: int = 10, seed: int = 0) -> list[Producer]:
+    """``count`` producers for a host, cycling through the stream tables.
+
+    The study ran "a ProducerServlet ... with 10 local Producers" (§3.3);
+    Experiment 3 scales this to 90.
+    """
+    producers = []
+    for i in range(count):
+        table = STREAM_TABLES[i % len(STREAM_TABLES)]
+        producers.append(
+            Producer(
+                f"{hostname}/p{i}",
+                table,
+                hostname,
+                seed=seed * 10_007 + i,
+            )
+        )
+    return producers

@@ -1,0 +1,65 @@
+"""The R-GMA global schema.
+
+R-GMA presents the Grid as one virtual relational database: every
+producer publishes rows of globally-defined tables (Fisher, "Relational
+Model for Information and Monitoring", GGF 2001).  This module defines
+the core monitoring tables the study's deployment used, mirroring the
+EDG WP3 schema shape: a producer-keyed measurement stream per metric.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GLOBAL_SCHEMA", "table_ddl", "STREAM_TABLES"]
+
+# name -> ordered (column, type) pairs. Every table leads with the
+# producer identity and a timestamp, as in the EDG schema.
+GLOBAL_SCHEMA: dict[str, tuple[tuple[str, str], ...]] = {
+    "cpuLoad": (
+        ("producerId", "VARCHAR(64)"),
+        ("hostName", "VARCHAR(64)"),
+        ("timestamp", "REAL"),
+        ("load1", "REAL"),
+        ("load5", "REAL"),
+        ("load15", "REAL"),
+    ),
+    "memoryUsage": (
+        ("producerId", "VARCHAR(64)"),
+        ("hostName", "VARCHAR(64)"),
+        ("timestamp", "REAL"),
+        ("totalMB", "INT"),
+        ("freeMB", "INT"),
+    ),
+    "networkTraffic": (
+        ("producerId", "VARCHAR(64)"),
+        ("hostName", "VARCHAR(64)"),
+        ("timestamp", "REAL"),
+        ("interface", "VARCHAR(16)"),
+        ("rxKBps", "REAL"),
+        ("txKBps", "REAL"),
+    ),
+    "diskUsage": (
+        ("producerId", "VARCHAR(64)"),
+        ("hostName", "VARCHAR(64)"),
+        ("timestamp", "REAL"),
+        ("mountPoint", "VARCHAR(64)"),
+        ("totalMB", "INT"),
+        ("freeMB", "INT"),
+    ),
+    "processCount": (
+        ("producerId", "VARCHAR(64)"),
+        ("hostName", "VARCHAR(64)"),
+        ("timestamp", "REAL"),
+        ("running", "INT"),
+        ("blocked", "INT"),
+    ),
+}
+
+# Tables producers publish into as continuous measurement streams.
+STREAM_TABLES = tuple(GLOBAL_SCHEMA)
+
+
+def table_ddl(name: str) -> str:
+    """The CREATE TABLE statement for a global-schema table."""
+    columns = GLOBAL_SCHEMA[name]
+    body = ", ".join(f"{col} {typ}" for col, typ in columns)
+    return f"CREATE TABLE {name} ({body})"

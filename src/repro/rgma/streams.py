@@ -1,0 +1,106 @@
+"""R-GMA's push model: continuous queries over producer streams.
+
+"Its main use is the notification of events — that is, a user can
+subscribe to a flow of data with specific properties directly from a
+data source" (paper §2.2).  A :class:`StreamBroker` holds continuous
+SELECTs; each published tuple is matched against the subscriptions of
+its table and delivered to the matching consumers' callbacks.
+
+This is the push half of the pull/push comparison in the paper's §3.7
+(MDS is pull-only; R-GMA supports both).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.errors import SqlError
+from repro.relational import SelectStmt, parse_sql
+from repro.relational.executor import eval_predicate
+from repro.relational.table import Table
+from repro.relational.types import Column, ColumnType
+from repro.rgma.schema import GLOBAL_SCHEMA
+
+__all__ = ["ContinuousQuery", "StreamBroker"]
+
+Callback = _t.Callable[[dict[str, _t.Any]], None]
+
+
+@dataclass
+class ContinuousQuery:
+    """One standing subscription."""
+
+    subscription_id: str
+    stmt: SelectStmt
+    callback: Callback
+    delivered: int = 0
+
+
+@dataclass
+class StreamBroker:
+    """Dispatches published tuples to matching continuous queries."""
+
+    _subs: dict[str, ContinuousQuery] = field(default_factory=dict)
+    _by_table: dict[str, list[str]] = field(default_factory=dict)
+    published: int = 0
+    deliveries: int = 0
+
+    def subscribe(self, subscription_id: str, sql: str, callback: Callback) -> ContinuousQuery:
+        """Register a continuous SELECT; returns the subscription handle."""
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise SqlError("continuous queries must be SELECT statements")
+        if stmt.table not in GLOBAL_SCHEMA:
+            raise SqlError(f"table {stmt.table!r} is not in the global schema")
+        sub = ContinuousQuery(subscription_id, stmt, callback)
+        self._subs[subscription_id] = sub
+        self._by_table.setdefault(stmt.table.lower(), []).append(subscription_id)
+        return sub
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        sub = self._subs.pop(subscription_id, None)
+        if sub is None:
+            return False
+        bucket = self._by_table.get(sub.stmt.table.lower(), [])
+        if subscription_id in bucket:
+            bucket.remove(subscription_id)
+        return True
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subs)
+
+    def publish(self, table_name: str, row: dict[str, _t.Any]) -> int:
+        """Push one tuple; returns the number of deliveries made."""
+        self.published += 1
+        schema = GLOBAL_SCHEMA.get(table_name)
+        if schema is None:
+            raise SqlError(f"table {table_name!r} is not in the global schema")
+        # Build a single-row scratch table to reuse the WHERE evaluator.
+        scratch = Table(
+            table_name, [Column(c, ColumnType.normalize(t)) for c, t in schema]
+        )
+        values = tuple(row.get(c) for c, _t_ in schema)
+        delivered = 0
+        for sub_id in self._by_table.get(table_name.lower(), []):
+            sub = self._subs[sub_id]
+            if sub.stmt.where is None or eval_predicate(sub.stmt.where, scratch, values) is True:
+                projected = self._project(sub.stmt, schema, values)
+                sub.callback(projected)
+                sub.delivered += 1
+                delivered += 1
+        self.deliveries += delivered
+        return delivered
+
+    @staticmethod
+    def _project(
+        stmt: SelectStmt,
+        schema: tuple[tuple[str, str], ...],
+        values: tuple,
+    ) -> dict[str, _t.Any]:
+        names = [c for c, _t_ in schema]
+        lookup = {n.lower(): v for n, v in zip(names, values)}
+        if stmt.columns == ("*",):
+            return dict(zip(names, values))
+        return {c: lookup[c.lower()] for c in stmt.columns}

@@ -1,0 +1,126 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the clock and the event schedule (a binary heap).
+It is deliberately small: all behaviour lives in events, processes and
+resources layered on top.  The engine is fully deterministic — ties in
+time are broken by insertion order — which makes every experiment in the
+study exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop, clock and factory for simulation primitives.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> p = sim.spawn(hello(sim))
+    >>> sim.run()
+    >>> p.value
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._processed = 0
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events the engine has processed (for profiling)."""
+        return self._processed
+
+    # -- primitive factories ----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: _t.Generator, name: str | None = None) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    # SimPy-compatible alias
+    process = spawn
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def call_at(self, when: float, callback: _t.Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute time ``when``; returns the timer event.
+
+        Used by the processor-sharing queues to (re)schedule completion
+        scans without spawning a full process.
+        """
+        if when < self._now:
+            raise SimulationError(f"call_at into the past: {when} < {self._now}")
+        event = Timeout(self, when - self._now)
+        event.callbacks.append(lambda _ev: callback())
+        return event
+
+    # -- main loop ------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process a single event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        self._processed += 1
+        event._process()
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the schedule drains, or until time ``until``.
+
+        When ``until`` is given the clock is advanced exactly to ``until``
+        even if the last event fires earlier, so periodic samplers can rely
+        on the final timestamp.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+        if until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until

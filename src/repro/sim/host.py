@@ -1,0 +1,80 @@
+"""Simulated machines: CPUs, network interfaces and run-queue accounting.
+
+A :class:`Host` mirrors one testbed node from the paper's Section 3.1 —
+e.g. a Lucky node is ``Host(cpus=2, cpu_rate=1.0, nic_mbps=100,
+mem_mb=512)``.  CPU work is expressed in CPU-seconds (``cpu_rate`` scales
+a host relative to the 1133 MHz PIII reference), so a job of 10 ms on a
+reference machine takes 10 ms of exclusive CPU there.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim.events import Event
+from repro.sim.loadavg import LoadAverage
+from repro.sim.sharing import ProcessorSharing
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One simulated machine.
+
+    Parameters
+    ----------
+    cpus / cpu_rate:
+        Number of cores and per-core speed relative to the reference
+        (Lucky's 1133 MHz PIII = 1.0).
+    nic_mbps:
+        Interface bandwidth in megabits/second; incoming and outgoing
+        directions are independent processor-sharing queues over bytes.
+    mem_mb:
+        Main memory, used by the hard resource limits that reproduce the
+        paper's server crashes.
+    site:
+        Topology zone (``"anl"`` or ``"uc"`` in the study); the network
+        assigns latency and shared WAN links per site pair.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        *,
+        cpus: int = 2,
+        cpu_rate: float = 1.0,
+        nic_mbps: float = 100.0,
+        mem_mb: int = 512,
+        site: str = "default",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.cpus = cpus
+        self.mem_mb = mem_mb
+        self.site = site
+        self.cpu = ProcessorSharing(sim, rate=cpu_rate, servers=cpus, name=f"{name}.cpu")
+        nic_bytes = nic_mbps * 1e6 / 8.0
+        self.nic_out = ProcessorSharing(sim, rate=nic_bytes, servers=1, name=f"{name}.nic_out")
+        self.nic_in = ProcessorSharing(sim, rate=nic_bytes, servers=1, name=f"{name}.nic_in")
+        self.loadavg = LoadAverage()
+
+    @property
+    def runnable(self) -> int:
+        """Instantaneous run-queue length (jobs wanting CPU).
+
+        Processes blocked on mutexes, network transfers or timeouts do
+        not count — they are sleeping, exactly as in the paper's load1
+        discussion (Section 3.2).
+        """
+        return self.cpu.jobs
+
+    def compute(self, cpu_seconds: float) -> Event:
+        """Event that fires when ``cpu_seconds`` of CPU work completes."""
+        return self.cpu.serve(cpu_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name} ({self.cpus}x{self.cpu.rate:g} cpu, site={self.site})>"

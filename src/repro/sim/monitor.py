@@ -1,0 +1,88 @@
+"""Ganglia-like host monitoring inside the simulation.
+
+The paper collected performance data with Ganglia at five-second
+intervals (Section 3.1) and reported two load metrics (Section 3.2):
+
+* ``load`` — percentage of CPU cycles in user+system mode
+  (cpu_user + cpu_system);
+* ``load1`` — the one-minute load average (``load_one``).
+
+:class:`Ganglia` reproduces that pipeline: every ``interval`` simulated
+seconds it samples each host's CPU utilization over the elapsed window
+and folds the instantaneous run-queue length into the host's damped load
+averages.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.sim.host import Host
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Ganglia", "HostSample"]
+
+
+@dataclass(frozen=True)
+class HostSample:
+    """One monitoring observation of one host."""
+
+    time: float
+    cpu_pct: float  # cpu_user + cpu_system over the last interval, percent
+    load1: float  # one-minute load average
+    runnable: int  # instantaneous run-queue length
+
+
+class Ganglia:
+    """Periodic sampler recording CPU load and load1 per host."""
+
+    def __init__(self, sim: "Simulator", hosts: _t.Sequence[Host], interval: float = 5.0) -> None:
+        self.sim = sim
+        self.hosts = list(hosts)
+        self.interval = interval
+        self.records: dict[str, list[HostSample]] = {h.name: [] for h in self.hosts}
+        self._prev_busy = {h.name: h.cpu.snapshot().busy_integral for h in self.hosts}
+        sim.spawn(self._sampler(), name="ganglia")
+
+    def _sampler(self) -> _t.Generator:
+        while True:
+            yield self.sim.timeout(self.interval)
+            for host in self.hosts:
+                snap = host.cpu.snapshot()
+                prev = self._prev_busy[host.name]
+                cpu_pct = 100.0 * (snap.busy_integral - prev) / self.interval
+                self._prev_busy[host.name] = snap.busy_integral
+                host.loadavg.sample(host.runnable, self.interval)
+                self.records[host.name].append(
+                    HostSample(
+                        time=self.sim.now,
+                        cpu_pct=cpu_pct,
+                        load1=host.loadavg.load1,
+                        runnable=host.runnable,
+                    )
+                )
+
+    # -- analysis -----------------------------------------------------------
+    def series(self, host: Host | str) -> list[HostSample]:
+        """All samples recorded for ``host`` so far."""
+        name = host if isinstance(host, str) else host.name
+        return self.records[name]
+
+    def window_average(
+        self, host: Host | str, start: float, end: float
+    ) -> tuple[float, float]:
+        """Mean ``(cpu_pct, load1)`` over samples in ``[start, end]``.
+
+        This is the estimator the paper uses: "values reported are the
+        average over all the values recorded during a 10-minute time
+        span".
+        """
+        samples = [s for s in self.series(host) if start <= s.time <= end]
+        if not samples:
+            return (0.0, 0.0)
+        cpu = sum(s.cpu_pct for s in samples) / len(samples)
+        load1 = sum(s.load1 for s in samples) / len(samples)
+        return (cpu, load1)

@@ -1,0 +1,84 @@
+"""Network topology: per-site latency and shared bottleneck links.
+
+Bandwidth contention happens at host NICs (each a processor-sharing
+queue over bytes) and optionally on shared inter-site links — the WAN
+between the UC client cluster and the ANL testbed in the study.  This is
+the substrate behind the paper's repeated observation that "the network
+on the server side can no longer handle the traffic".
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.host import Host
+from repro.sim.sharing import ProcessorSharing
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Network"]
+
+# Loopback transfers still pay a small kernel crossing.
+_LOOPBACK_LATENCY = 1e-4
+
+
+class Network:
+    """Latency/bandwidth model connecting :class:`~repro.sim.host.Host` sites."""
+
+    def __init__(self, sim: "Simulator", default_latency: float = 1e-3) -> None:
+        self.sim = sim
+        self.default_latency = default_latency
+        self._latency: dict[frozenset[str], float] = {}
+        self._shared: dict[frozenset[str], ProcessorSharing] = {}
+        self.bytes_transferred = 0
+        self.messages = 0
+
+    # -- topology construction -------------------------------------------------
+    def set_latency(self, site_a: str, site_b: str, seconds: float) -> None:
+        """Set the (symmetric) one-way propagation delay between two sites."""
+        if seconds < 0:
+            raise SimulationError(f"negative latency: {seconds}")
+        self._latency[frozenset((site_a, site_b))] = seconds
+
+    def add_shared_link(self, site_a: str, site_b: str, mbps: float) -> ProcessorSharing:
+        """Install a shared bottleneck link between two sites.
+
+        All traffic crossing the site pair shares the link's bandwidth
+        fairly (processor sharing over bytes).
+        """
+        link = ProcessorSharing(
+            self.sim, rate=mbps * 1e6 / 8.0, servers=1, name=f"link:{site_a}<->{site_b}"
+        )
+        self._shared[frozenset((site_a, site_b))] = link
+        return link
+
+    def latency(self, src: Host, dst: Host) -> float:
+        """One-way delay between two hosts."""
+        if src is dst:
+            return _LOOPBACK_LATENCY
+        if src.site == dst.site:
+            return self._latency.get(frozenset((src.site,)), self.default_latency)
+        return self._latency.get(frozenset((src.site, dst.site)), self.default_latency)
+
+    # -- data movement ----------------------------------------------------------
+    def transfer(self, src: Host, dst: Host, nbytes: int) -> _t.Generator:
+        """Move ``nbytes`` from ``src`` to ``dst``; use with ``yield from``.
+
+        The message is serialized through the sender NIC, any shared
+        inter-site link, a propagation delay, then the receiver NIC.
+        Same-host transfers only pay the loopback latency.
+        """
+        self.messages += 1
+        self.bytes_transferred += nbytes
+        if src is dst:
+            yield self.sim.timeout(_LOOPBACK_LATENCY)
+            return nbytes
+        yield src.nic_out.serve(nbytes)
+        link = self._shared.get(frozenset((src.site, dst.site)))
+        if link is not None:
+            yield link.serve(nbytes)
+        yield self.sim.timeout(self.latency(src, dst))
+        yield dst.nic_in.serve(nbytes)
+        return nbytes

@@ -1,0 +1,108 @@
+"""Generator-based simulated processes.
+
+A process wraps a Python generator: every value the generator yields must
+be an :class:`~repro.sim.events.Event` (processes themselves are events, so
+``yield other_process`` waits for it).  When the generator returns, the
+process event succeeds with the return value; an uncaught exception fails
+it.  Processes may be interrupted, which throws
+:class:`~repro.errors.InterruptError` at the current yield point.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running generator inside the simulation; also an awaitable event."""
+
+    __slots__ = ("name", "_generator", "_waiting_on", "_alive")
+
+    def __init__(self, sim: "Simulator", generator: _t.Generator, name: str | None = None) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self._alive = True
+        # Kick off at the current time via a zero-delay bootstrap event.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    def interrupt(self, cause: _t.Any = None) -> None:
+        """Throw :class:`InterruptError` into the process at its yield point.
+
+        Interrupting a finished process is a no-op (the usual race when a
+        watchdog fires just as the work completes).
+        """
+        if not self._alive:
+            return
+        target = self._waiting_on
+        if target is not None:
+            # Stop listening to whatever we were waiting for.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        wake = Event(self.sim)
+        wake.callbacks.append(self._resume)
+        wake.fail(InterruptError(cause))
+
+    # -- engine callback ----------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._alive = False
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._alive = False
+            err = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+            self._generator.close()
+            self.fail(err)
+            return
+        if target.processed:
+            # Already done: resume on a fresh zero-delay event carrying its
+            # outcome so execution order stays deterministic.
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                relay.fail(target.value)
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)

@@ -1,0 +1,275 @@
+"""Request/response messaging between simulated hosts.
+
+A :class:`Service` lives on a host and processes requests through a
+bounded thread pool with a bounded accept backlog.  Connections beyond
+``max_threads + backlog`` are refused — clients see
+:class:`~repro.errors.ServiceUnavailableError` — which is the mechanism
+that reproduces the paper's directory-server saturation (successful
+queries stay fast while throughput flat-lines, Figures 9–10).
+
+Handlers are generator functions ``handler(service, request) -> Response``
+that may yield any simulation event (CPU work, mutex acquisition, nested
+RPCs...).  Client-side deadlines are supported: on timeout the *client*
+stops waiting but the server keeps burning resources on the abandoned
+request, exactly like a real overloaded server.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    RequestTimeoutError,
+    ServiceCrashError,
+    ServiceUnavailableError,
+    SimulationError,
+)
+from repro.sim.events import Event
+from repro.sim.host import Host
+from repro.sim.network import Network
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Request", "Response", "Service", "ConnectionOverhead", "call"]
+
+
+@dataclass
+class Request:
+    """A message delivered to a service handler."""
+
+    payload: _t.Any
+    size: int
+    client: Host
+    issued_at: float
+
+
+@dataclass
+class Response:
+    """What a handler returns: a value plus its wire size in bytes."""
+
+    value: _t.Any
+    size: int = 1024
+
+
+@dataclass(frozen=True)
+class ConnectionOverhead:
+    """Concurrency-dependent per-request latency ``L(c)``.
+
+    ``L(c) = base + extra * (1 - exp(-c / scale))`` where ``c`` is the
+    number of connections open at the server when the request is
+    admitted.  This phenomenological stand-in for connection management
+    plus GSI-handshake cost reproduces the GRIS-cache response plateau
+    (~4 s for >=50 users, Figure 6) while remaining sub-second at 10
+    users (Figure 14).  See DESIGN.md §2.
+    """
+
+    base: float = 0.0
+    extra: float = 0.0
+    scale: float = 20.0
+
+    def latency(self, connections: int) -> float:
+        """Latency charged to a request admitted with ``connections`` open."""
+        if self.extra == 0.0:
+            return self.base
+        return self.base + self.extra * (1.0 - math.exp(-connections / self.scale))
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative request accounting for one service."""
+
+    arrived: int = 0
+    refused: int = 0
+    completed: int = 0
+    errors: int = 0
+    busy_time: float = 0.0
+    max_concurrent: int = 0
+    refusal_log: list[float] = field(default_factory=list)
+
+
+HandlerFn = _t.Callable[["Service", Request], _t.Generator]
+
+
+class Service:
+    """A network service bound to a host.
+
+    Parameters
+    ----------
+    handler:
+        Generator function ``(service, request) -> Response``.
+    max_threads:
+        Handlers running concurrently; further connections queue.
+    backlog:
+        Accept-queue depth; connections past ``max_threads + backlog``
+        are refused.
+    conn_overhead:
+        Optional :class:`ConnectionOverhead` latency model.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        net: Network,
+        host: Host,
+        name: str,
+        handler: HandlerFn,
+        *,
+        max_threads: int = 32,
+        backlog: int = 512,
+        conn_overhead: ConnectionOverhead | None = None,
+    ) -> None:
+        if max_threads < 1:
+            raise SimulationError("max_threads must be >= 1")
+        self.sim = sim
+        self.net = net
+        self.host = host
+        self.name = name
+        self.handler = handler
+        self.max_threads = max_threads
+        self.backlog = backlog
+        self.conn_overhead = conn_overhead
+        self.crashed = False
+        self.crash_reason: str | None = None
+        self.stats = ServiceStats()
+        self._active = 0
+        self._slot_waiters: deque[Event] = deque()
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Handlers currently executing."""
+        return self._active
+
+    @property
+    def queued(self) -> int:
+        """Connections accepted but waiting for a handler thread."""
+        return len(self._slot_waiters)
+
+    @property
+    def concurrent(self) -> int:
+        """Open connections (executing + accept queue)."""
+        return self._active + len(self._slot_waiters)
+
+    # -- lifecycle ----------------------------------------------------------
+    def crash(self, reason: str) -> None:
+        """Mark the service dead; all future requests are refused.
+
+        Mirrors the hard failures the paper reports (GIIS beyond 200
+        registered GRIS, Startd beyond 98 modules).
+        """
+        self.crashed = True
+        self.crash_reason = reason
+
+    # -- internals ------------------------------------------------------------
+    def _acquire_thread(self) -> Event:
+        event = Event(self.sim)
+        if self._active < self.max_threads:
+            self._active += 1
+            event.succeed()
+        else:
+            self._slot_waiters.append(event)
+        return event
+
+    def _release_thread(self) -> None:
+        if self._slot_waiters:
+            self._slot_waiters.popleft().succeed()
+        else:
+            self._active -= 1
+
+    def _serve(self, request: Request) -> _t.Generator:
+        """Full server-side lifecycle of one admitted connection."""
+        stats = self.stats
+        stats.max_concurrent = max(stats.max_concurrent, self.concurrent + 1)
+        yield self._acquire_thread()
+        started = self.sim.now
+        try:
+            if self.conn_overhead is not None:
+                # Overhead scales with connections being *serviced*, not
+                # with the accept queue: a queued-but-unaccepted socket
+                # costs the server nothing yet.
+                delay = self.conn_overhead.latency(self._active)
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+            response = yield from self.handler(self, request)
+            if not isinstance(response, Response):
+                raise SimulationError(
+                    f"handler of service {self.name!r} returned {type(response).__name__}, "
+                    "expected Response"
+                )
+            stats.completed += 1
+            return response
+        except ServiceCrashError:
+            stats.errors += 1
+            raise
+        except SimulationError:
+            raise
+        except Exception as exc:  # handler-level application error
+            stats.errors += 1
+            return Response(value=exc, size=256)
+        finally:
+            stats.busy_time += self.sim.now - started
+            self._release_thread()
+
+
+def call(
+    sim: "Simulator",
+    net: Network,
+    client: Host,
+    service: Service,
+    payload: _t.Any,
+    *,
+    size: int = 512,
+    timeout: float | None = None,
+) -> _t.Generator:
+    """Issue a blocking RPC from a client process; use with ``yield from``.
+
+    Returns the handler's response value.  Raises
+    :class:`ServiceUnavailableError` when refused and
+    :class:`RequestTimeoutError` when the client deadline passes (the
+    server keeps processing the abandoned request).
+    """
+    worker = sim.spawn(_lifecycle(sim, net, client, service, payload, size), name=f"rpc:{service.name}")
+    if timeout is None:
+        value = yield worker
+        return value
+    deadline = sim.timeout(timeout)
+    try:
+        yield sim.any_of((worker, deadline))
+    except SimulationError:
+        raise
+    if worker.triggered:
+        if worker.ok:
+            return worker.value
+        raise worker.value
+    raise RequestTimeoutError(f"call to {service.name} exceeded {timeout:g}s")
+
+
+def _lifecycle(
+    sim: "Simulator",
+    net: Network,
+    client: Host,
+    service: Service,
+    payload: _t.Any,
+    size: int,
+) -> _t.Generator:
+    request = Request(payload=payload, size=size, client=client, issued_at=sim.now)
+    yield from net.transfer(client, service.host, size)
+    service.stats.arrived += 1
+    if service.crashed:
+        service.stats.refused += 1
+        raise ServiceUnavailableError(f"service {service.name} crashed: {service.crash_reason}")
+    if service.concurrent >= service.max_threads + service.backlog:
+        service.stats.refused += 1
+        service.stats.refusal_log.append(sim.now)
+        # TCP RST back to the client is effectively free but not instant.
+        yield from net.transfer(service.host, client, 64)
+        raise ServiceUnavailableError(f"service {service.name} refused connection (backlog full)")
+    response = yield from service._serve(request)
+    yield from net.transfer(service.host, client, response.size)
+    if isinstance(response.value, Exception):
+        raise response.value
+    return response.value

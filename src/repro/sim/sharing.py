@@ -1,0 +1,157 @@
+"""Egalitarian processor-sharing queues in O(log n) per event.
+
+Both simulated CPUs and network interfaces are modelled as
+processor-sharing (PS) servers: ``servers`` units each serving at
+``rate`` work-units per second, shared equally among all jobs present
+(each job receives ``rate * min(1, servers/n)``).  PS is the standard
+fluid model for both time-sliced CPUs and fair-share TCP bandwidth, and
+it is what produces the emergent saturation behaviour the paper reports.
+
+Implementation uses the classic *virtual time* trick: because every job
+receives the same instantaneous rate, a single monotone virtual clock
+``V(t) = ∫ rate_per_job dt`` orders completions.  A job of size ``w``
+arriving when the clock reads ``V0`` finishes when ``V`` reaches
+``V0 + w``.  Jobs live in a min-heap keyed by that target, so arrivals
+and departures cost O(log n) instead of the naive O(n) rescan — this is
+the hot path of the whole simulation (see ``benchmarks/bench_substrates``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from dataclasses import dataclass
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["ProcessorSharing", "PsSnapshot"]
+
+# Tolerance when matching virtual-time targets at completion instants.
+_VT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PsSnapshot:
+    """Point-in-time statistics of a PS queue (integrals since t=0)."""
+
+    time: float
+    jobs: int
+    busy_integral: float  # ∫ min(n, servers)/servers dt  — utilization
+    jobs_integral: float  # ∫ n dt                        — mean concurrency
+    completed: int
+    work_completed: float
+
+
+class ProcessorSharing:
+    """A multi-server egalitarian processor-sharing queue.
+
+    Parameters
+    ----------
+    rate:
+        Work units served per second *per server* (CPU-seconds/second for
+        a CPU core, bytes/second for a NIC).
+    servers:
+        Number of identical servers; with ``n > servers`` jobs each job
+        gets ``rate * servers / n``.
+    """
+
+    def __init__(self, sim: "Simulator", rate: float, servers: int = 1, name: str = "") -> None:
+        if rate <= 0:
+            raise SimulationError(f"PS rate must be positive, got {rate}")
+        if servers < 1:
+            raise SimulationError(f"PS servers must be >= 1, got {servers}")
+        self.sim = sim
+        self.rate = float(rate)
+        self.servers = int(servers)
+        self.name = name
+        self._vt = 0.0
+        self._last_t = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._timer_token = 0
+        # statistics
+        self._busy_int = 0.0
+        self._jobs_int = 0.0
+        self._completed = 0
+        self._work_completed = 0.0
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        """Number of jobs currently in service."""
+        return len(self._heap)
+
+    def snapshot(self) -> PsSnapshot:
+        """Advance internal clocks to *now* and return cumulative stats."""
+        self._advance(self.sim.now)
+        return PsSnapshot(
+            time=self.sim.now,
+            jobs=len(self._heap),
+            busy_integral=self._busy_int,
+            jobs_integral=self._jobs_int,
+            completed=self._completed,
+            work_completed=self._work_completed,
+        )
+
+    # -- core mechanics ---------------------------------------------------------
+    def _rate_per_job(self) -> float:
+        n = len(self._heap)
+        if n == 0:
+            return 0.0
+        return self.rate * min(1.0, self.servers / n)
+
+    def _advance(self, t: float) -> None:
+        dt = t - self._last_t
+        if dt <= 0:
+            return
+        n = len(self._heap)
+        if n:
+            self._busy_int += (min(n, self.servers) / self.servers) * dt
+            self._jobs_int += n * dt
+            self._vt += self._rate_per_job() * dt
+        self._last_t = t
+
+    def _reschedule(self) -> None:
+        """Arm a completion timer for the earliest job target."""
+        self._timer_token += 1
+        if not self._heap:
+            return
+        token = self._timer_token
+        target = self._heap[0][0]
+        rate = self._rate_per_job()
+        eta = max(0.0, (target - self._vt) / rate)
+        self.sim.call_at(self.sim.now + eta, lambda: self._on_timer(token))
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token or not self._heap:
+            return  # stale timer: state changed since it was armed
+        self._advance(self.sim.now)
+        # The earliest job completes exactly now; clamp away fp drift.
+        self._vt = max(self._vt, self._heap[0][0])
+        while self._heap and self._heap[0][0] <= self._vt + _VT_EPS:
+            target, _seq, event = heapq.heappop(self._heap)
+            self._completed += 1
+            event.succeed()
+        self._reschedule()
+
+    # -- public operation ----------------------------------------------------
+    def serve(self, work: float) -> Event:
+        """Event that fires once ``work`` units have been served.
+
+        Zero (or negative) work completes immediately without joining the
+        queue.
+        """
+        event = Event(self.sim)
+        if work <= 0:
+            event.succeed()
+            return event
+        self._advance(self.sim.now)
+        self._work_completed += work  # counted at admission; conserved at completion
+        heapq.heappush(self._heap, (self._vt + work, next(self._seq), event))
+        self._reschedule()
+        return event

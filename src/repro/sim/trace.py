@@ -1,0 +1,125 @@
+"""Structured tracing for simulation runs.
+
+A :class:`Tracer` collects timestamped records from instrumented points
+(service request lifecycles, resource contention, custom marks) so a
+surprising experiment result can be replayed and inspected::
+
+    tracer = Tracer(sim)
+    tracer.instrument_service(service)
+    ...
+    sim.run(until=80)
+    print(tracer.render(limit=50))
+    slow = [r for r in tracer.records if r.kind == "rpc" and r.duration > 10]
+
+Instrumentation wraps the service handler; it adds no simulated time.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.sim.rpc import Request, Response, Service
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["Tracer", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    kind: str  # "mark" | "rpc" | "refusal" | ...
+    subject: str
+    detail: dict[str, _t.Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length for records carrying start/end, else 0."""
+        return float(self.detail.get("duration", 0.0))
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects from an experiment run."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 100_000) -> None:
+        self.sim = sim
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------------
+    def mark(self, subject: str, **detail: _t.Any) -> None:
+        """Record a custom point event at the current simulation time."""
+        self._add(TraceRecord(time=self.sim.now, kind="mark", subject=subject, detail=detail))
+
+    def _add(self, record: TraceRecord) -> None:
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    # -- instrumentation ----------------------------------------------------
+    def instrument_service(self, service: Service) -> None:
+        """Wrap a service handler to log every request's span and outcome."""
+        inner = service.handler
+        tracer = self
+
+        def traced(svc: Service, request: Request) -> _t.Generator:
+            started = tracer.sim.now
+            queued = svc.queued
+            try:
+                response = yield from inner(svc, request)
+            except Exception as exc:
+                tracer._add(
+                    TraceRecord(
+                        time=tracer.sim.now,
+                        kind="rpc-error",
+                        subject=svc.name,
+                        detail={
+                            "started": started,
+                            "duration": tracer.sim.now - started,
+                            "error": type(exc).__name__,
+                        },
+                    )
+                )
+                raise
+            tracer._add(
+                TraceRecord(
+                    time=tracer.sim.now,
+                    kind="rpc",
+                    subject=svc.name,
+                    detail={
+                        "started": started,
+                        "duration": tracer.sim.now - started,
+                        "queued_behind": queued,
+                        "size": getattr(response, "size", None),
+                    },
+                )
+            )
+            return response
+
+        service.handler = traced
+
+    # -- analysis ------------------------------------------------------------
+    def by_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def spans(self, subject: str | None = None) -> list[TraceRecord]:
+        """RPC spans, optionally filtered by service name."""
+        return [
+            r
+            for r in self.records
+            if r.kind == "rpc" and (subject is None or r.subject == subject)
+        ]
+
+    def render(self, limit: int = 40) -> str:
+        """A human-readable tail of the trace."""
+        lines = [f"trace: {len(self.records)} records ({self.dropped} dropped)"]
+        for record in self.records[-limit:]:
+            extra = " ".join(f"{k}={v}" for k, v in record.detail.items())
+            lines.append(f"  [{record.time:10.4f}] {record.kind:<10s} {record.subject:<24s} {extra}")
+        return "\n".join(lines)

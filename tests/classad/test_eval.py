@@ -1,0 +1,263 @@
+"""Tests for ClassAd evaluation semantics: three-valued logic, scoping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.classad import ERROR, UNDEFINED, ClassAd, evaluate, parse_expr
+
+
+def ev(text, my=None, target=None):
+    return evaluate(parse_expr(text), my=my, target=target)
+
+
+# -- arithmetic -----------------------------------------------------------
+
+
+def test_integer_arithmetic():
+    assert ev("2 + 3 * 4") == 14
+    assert ev("10 - 3") == 7
+    assert ev("7 / 2") == 3  # C-style integer division
+    assert ev("7 % 3") == 1
+    assert ev("-5 + 2") == -3
+
+
+def test_real_arithmetic():
+    assert ev("7.0 / 2") == pytest.approx(3.5)
+    assert ev("1.5 * 2") == pytest.approx(3.0)
+
+
+def test_division_by_zero_is_error():
+    assert ev("1 / 0") is ERROR
+    assert ev("1 % 0") is ERROR
+
+
+def test_string_plus_concatenates():
+    assert ev('"foo" + "bar"') == "foobar"
+
+
+def test_type_mismatch_is_error():
+    assert ev('"foo" * 2') is ERROR
+    assert ev('-"foo"') is ERROR
+    assert ev("!5") is ERROR  # numbers are not booleans under '!'
+
+
+def test_boolean_arithmetic_promotes():
+    assert ev("TRUE + TRUE") == 2
+
+
+# -- comparison -----------------------------------------------------------
+
+
+def test_numeric_comparison():
+    assert ev("3 < 4") is True
+    assert ev("3 >= 4") is False
+    assert ev("3 == 3.0") is True
+
+
+def test_string_equality_case_insensitive():
+    assert ev('"Lucky" == "lucky"') is True
+    assert ev('"a" < "b"') is True
+
+
+def test_mixed_comparison_is_error():
+    assert ev('"a" == 1') is ERROR
+
+
+def test_meta_equality_strict():
+    assert ev('"Lucky" =?= "lucky"') is False
+    assert ev('"Lucky" =?= "Lucky"') is True
+    assert ev("UNDEFINED =?= UNDEFINED") is True
+    assert ev("1 =?= UNDEFINED") is False
+    assert ev("1 =!= UNDEFINED") is True
+    assert ev("TRUE =?= 1") is False  # type strict
+
+
+def test_meta_equality_never_undefined():
+    assert ev("missing =?= UNDEFINED", my=ClassAd()) is True
+
+
+# -- three-valued logic ------------------------------------------------------
+
+
+def test_undefined_propagates_through_arithmetic():
+    assert ev("missing + 1", my=ClassAd()) is UNDEFINED
+    assert ev("missing > 5", my=ClassAd()) is UNDEFINED
+
+
+def test_false_and_undefined_is_false():
+    assert ev("FALSE && missing", my=ClassAd()) is False
+    assert ev("missing && FALSE", my=ClassAd()) is False
+
+
+def test_true_and_undefined_is_undefined():
+    assert ev("TRUE && missing", my=ClassAd()) is UNDEFINED
+
+
+def test_true_or_undefined_is_true():
+    assert ev("TRUE || missing", my=ClassAd()) is True
+    assert ev("missing || TRUE", my=ClassAd()) is True
+
+
+def test_false_or_undefined_is_undefined():
+    assert ev("FALSE || missing", my=ClassAd()) is UNDEFINED
+
+
+def test_error_dominates_logic():
+    assert ev("(1/0) && FALSE") is ERROR
+    assert ev("(1/0) || TRUE") is ERROR
+
+
+def test_short_circuit_avoids_error_on_decisive_left():
+    # Old ClassAds short-circuit: FALSE && <anything> is FALSE.
+    assert ev("FALSE && (1/0)") is False
+    assert ev("TRUE || (1/0)") is True
+
+
+def test_numbers_coerce_in_logic():
+    assert ev("1 && 1") is True
+    assert ev("0 || 0") is False
+
+
+def test_string_in_logic_is_error():
+    assert ev('"yes" && TRUE') is ERROR
+
+
+def test_not_semantics():
+    assert ev("!TRUE") is False
+    assert ev("!missing", my=ClassAd()) is UNDEFINED
+
+
+# -- attribute references -----------------------------------------------------
+
+
+def test_lookup_in_my():
+    ad = ClassAd({"CpuLoad": 0.75})
+    assert ev("CpuLoad > 0.5", my=ad) is True
+
+
+def test_lookup_case_insensitive():
+    ad = ClassAd({"CpuLoad": 1})
+    assert ev("cpuload", my=ad) == 1
+
+
+def test_missing_is_undefined():
+    assert ev("Nope", my=ClassAd()) is UNDEFINED
+
+
+def test_my_and_target_scopes():
+    mine = ClassAd({"Memory": 512})
+    theirs = ClassAd({"Memory": 1024})
+    assert ev("MY.Memory", my=mine, target=theirs) == 512
+    assert ev("TARGET.Memory", my=mine, target=theirs) == 1024
+    # Unscoped prefers MY.
+    assert ev("Memory", my=mine, target=theirs) == 512
+
+
+def test_unscoped_falls_through_to_target():
+    mine = ClassAd()
+    theirs = ClassAd({"OnlyInTarget": 7})
+    assert ev("OnlyInTarget", my=mine, target=theirs) == 7
+
+
+def test_target_expression_evaluates_in_flipped_scope():
+    # TARGET.Pref references an attr that exists only in the target ad,
+    # so inside it, unscoped lookups must search the target first.
+    mine = ClassAd({"Speed": 10})
+    theirs = ClassAd({"Speed": 99})
+    theirs.set_expr("Pref", "Speed * 2")
+    assert ev("TARGET.Pref", my=mine, target=theirs) == 198
+
+
+def test_chained_references():
+    ad = ClassAd({"a": 1})
+    ad.set_expr("b", "a + 1")
+    ad.set_expr("c", "b + 1")
+    assert ad.eval("c") == 3
+
+
+def test_circular_reference_is_undefined():
+    ad = ClassAd()
+    ad.set_expr("x", "y")
+    ad.set_expr("y", "x")
+    assert ad.eval("x") is UNDEFINED
+
+
+def test_self_reference_is_undefined():
+    ad = ClassAd()
+    ad.set_expr("x", "x + 1")
+    assert ad.eval("x") is UNDEFINED
+
+
+# -- builtin functions -------------------------------------------------------
+
+
+def test_ifthenelse():
+    assert ev('ifThenElse(1 < 2, "a", "b")') == "a"
+    assert ev('ifThenElse(1 > 2, "a", "b")') == "b"
+    assert ev("ifThenElse(missing, 1, 2)", my=ClassAd()) is UNDEFINED
+
+
+def test_isundefined_iserror():
+    assert ev("isUndefined(missing)", my=ClassAd()) is True
+    assert ev("isUndefined(5)") is False
+    assert ev("isError(1/0)") is True
+
+
+def test_string_functions():
+    assert ev('strcat("a", "b", 3)') == "ab3"
+    assert ev('toUpper("abc")') == "ABC"
+    assert ev('toLower("ABC")') == "abc"
+    assert ev('size("hello")') == 5
+
+
+def test_numeric_functions():
+    assert ev('int("42")') == 42
+    assert ev("int(3.9)") == 3
+    assert ev("real(2)") == 2.0
+    assert ev("floor(3.7)") == 3
+    assert ev("ceiling(3.2)") == 4
+    assert ev("round(3.5)") == 4
+    assert ev("string(TRUE)") == "TRUE"
+
+
+def test_unknown_function_is_error():
+    assert ev("nosuchfn(1)") is ERROR
+
+
+def test_function_propagates_sentinels():
+    assert ev("floor(missing)", my=ClassAd()) is UNDEFINED
+    assert ev("floor(1/0)") is ERROR
+
+
+# -- eval_counted -------------------------------------------------------------
+
+
+def test_eval_counted_reports_work():
+    ad = ClassAd({"a": 1, "b": 2})
+    ad.set_expr("Requirements", "a + b > 2 && a < b")
+    value, ops = ad.eval_counted("Requirements")
+    assert value is True
+    assert ops > 5
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_property_addition_matches_python(a, b):
+    assert ev(f"{a} + {b}") == a + b
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+def test_property_comparison_total(a, b):
+    lt = ev(f"{a} < {b}")
+    ge = ev(f"{a} >= {b}")
+    assert lt != ge
+
+
+@given(st.booleans(), st.booleans())
+def test_property_demorgan(p, q):
+    lhs = ev(f"!({str(p).upper()} && {str(q).upper()})")
+    rhs = ev(f"!{str(p).upper()} || !{str(q).upper()}")
+    assert lhs == rhs

@@ -1,0 +1,201 @@
+"""Tests for ClassAd records, matchmaking and the collector."""
+
+import pytest
+
+from repro.classad import AdCollector, ClassAd, match, match_pool, rank
+
+
+def startd_ad(name, cpu_load=0.1, memory=512, os="LINUX"):
+    ad = ClassAd(
+        {
+            "MyType": "Machine",
+            "Name": name,
+            "Machine": name,
+            "CpuLoad": cpu_load,
+            "Memory": memory,
+            "OpSys": os,
+        }
+    )
+    ad.set_expr("Requirements", "TRUE")
+    return ad
+
+
+# -- ClassAd record ---------------------------------------------------------
+
+
+def test_classad_set_get():
+    ad = ClassAd({"A": 1})
+    ad["B"] = "text"
+    assert ad.eval("A") == 1
+    assert ad.eval("b") == "text"
+    assert "a" in ad and "B" in ad
+    assert len(ad) == 2
+
+
+def test_classad_len_counts_attrs():
+    ad = ClassAd({"A": 1, "B": 2})
+    assert len(ad) == 2
+    del ad["a"]
+    assert len(ad) == 1
+
+
+def test_classad_serialize_roundtrip():
+    ad = startd_ad("lucky3.mcs.anl.gov", cpu_load=0.42)
+    text = ad.serialize()
+    back = ClassAd.deserialize(text)
+    assert back.eval("CpuLoad") == pytest.approx(0.42)
+    assert back.eval("Name") == "lucky3.mcs.anl.gov"
+    assert back.eval("Requirements") is True
+    assert back.names() == ad.names()
+
+
+def test_classad_update_merges():
+    base = ClassAd({"A": 1, "B": 2})
+    patch = ClassAd({"B": 20, "C": 30})
+    base.update(patch)
+    assert base.eval("A") == 1
+    assert base.eval("B") == 20
+    assert base.eval("C") == 30
+
+
+def test_estimated_size_grows_with_attrs():
+    small = ClassAd({"A": 1})
+    big = ClassAd({f"Attr{i}": "x" * 20 for i in range(40)})
+    assert big.estimated_size() > small.estimated_size() * 10
+
+
+def test_get_scalar_defaults_on_sentinels():
+    ad = ClassAd()
+    ad.set_expr("bad", "1/0")
+    assert ad.get_scalar("missing", "dflt") == "dflt"
+    assert ad.get_scalar("bad", -1) == -1
+
+
+def test_copy_is_independent():
+    ad = ClassAd({"A": 1})
+    clone = ad.copy()
+    clone["A"] = 2
+    assert ad.eval("A") == 1
+
+
+# -- matchmaking -------------------------------------------------------------
+
+
+def test_bilateral_match_success():
+    job = ClassAd({"MyType": "Job", "ImageSize": 256})
+    job.set_expr("Requirements", 'TARGET.OpSys == "LINUX" && TARGET.Memory >= MY.ImageSize')
+    machine = startd_ad("lucky1")
+    machine.set_expr("Requirements", "TARGET.ImageSize <= MY.Memory")
+    result = match(job, machine)
+    assert result.matched
+    assert result.ops > 0
+
+
+def test_match_fails_on_requirement():
+    job = ClassAd({"MyType": "Job"})
+    job.set_expr("Requirements", "TARGET.Memory >= 4096")
+    assert not match(job, startd_ad("small", memory=512)).matched
+
+
+def test_match_undefined_requirement_fails():
+    job = ClassAd()
+    job.set_expr("Requirements", "TARGET.NoSuchAttr > 5")
+    assert not match(job, startd_ad("m")).matched
+
+
+def test_missing_requirements_defaults_true():
+    assert match(ClassAd({"A": 1}), ClassAd({"B": 2})).matched
+
+
+def test_rank_ordering():
+    job = ClassAd()
+    job.set_expr("Requirements", "TRUE")
+    job.set_expr("Rank", "TARGET.Memory")
+    machines = [startd_ad(f"m{i}", memory=m) for i, m in enumerate([256, 1024, 512])]
+    matches, _ops = match_pool(job, machines)
+    memories = [ad.get_scalar("Memory") for _r, ad in matches]
+    assert memories == [1024, 512, 256]
+
+
+def test_rank_nonnumeric_is_zero():
+    ad = ClassAd()
+    ad.set_expr("Rank", '"not a number"')
+    assert rank(ad, ClassAd()) == 0.0
+
+
+def test_match_pool_counts_ops_even_when_nothing_matches():
+    # The Experiment-4 worst case: constraint matched by no machine.
+    request = ClassAd()
+    request.set_expr("Requirements", "TARGET.CpuLoad > 50")
+    pool = [startd_ad(f"m{i}") for i in range(100)]
+    matches, ops = match_pool(request, pool)
+    assert matches == []
+    assert ops >= 100  # work scales with pool size
+
+
+# -- collector ----------------------------------------------------------------
+
+
+def test_collector_advertise_and_get():
+    coll = AdCollector()
+    coll.advertise(startd_ad("lucky1"), now=0.0)
+    assert len(coll) == 1
+    assert coll.get("LUCKY1") is not None
+
+
+def test_collector_replaces_by_name():
+    coll = AdCollector()
+    coll.advertise(startd_ad("m", cpu_load=0.1), now=0.0)
+    coll.advertise(startd_ad("m", cpu_load=0.9), now=1.0)
+    assert len(coll) == 1
+    assert coll.get("m").eval("CpuLoad") == pytest.approx(0.9)
+
+
+def test_collector_requires_name():
+    coll = AdCollector()
+    with pytest.raises(ValueError):
+        coll.advertise(ClassAd({"NoName": 1}))
+
+
+def test_collector_expiry():
+    coll = AdCollector()
+    coll.advertise(startd_ad("a"), now=0.0, lifetime=100.0)
+    coll.advertise(startd_ad("b"), now=50.0, lifetime=100.0)
+    assert coll.expire(now=120.0) == 1
+    assert coll.get("a") is None
+    assert coll.get("b") is not None
+
+
+def test_collector_remove():
+    coll = AdCollector()
+    coll.advertise(startd_ad("a"))
+    assert coll.remove("a") is True
+    assert coll.remove("a") is False
+
+
+def test_collector_indexed_query_path():
+    coll = AdCollector(indexed_attrs=("Name", "Machine"))
+    for i in range(50):
+        coll.advertise(startd_ad(f"m{i}"))
+    outcome = coll.query('Name == "m7"')
+    assert outcome.index_hit
+    assert [ad.get_scalar("Name") for ad in outcome.ads] == ["m7"]
+    assert outcome.scanned == 1  # index avoided the full scan
+
+
+def test_collector_scan_query_path():
+    coll = AdCollector()
+    for i in range(20):
+        coll.advertise(startd_ad(f"m{i}", cpu_load=i / 10.0))
+    outcome = coll.query("CpuLoad > 1.0")
+    assert not outcome.index_hit
+    assert outcome.scanned == 20
+    assert len(outcome.ads) == 9  # loads 1.1 .. 1.9
+
+
+def test_collector_lookup_equal_unindexed_falls_back_to_scan():
+    coll = AdCollector(indexed_attrs=("Name",))
+    coll.advertise(startd_ad("a", os="LINUX"))
+    coll.advertise(startd_ad("b", os="SOLARIS"))
+    hits = coll.lookup_equal("OpSys", "linux")
+    assert len(hits) == 1

@@ -1,0 +1,140 @@
+"""Tests for the ClassAd lexer and parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.classad import (
+    AttrRef,
+    BinaryOp,
+    FuncCall,
+    Literal,
+    UnaryOp,
+    parse_expr,
+)
+from repro.classad.lexer import tokenize
+from repro.classad.values import ERROR, UNDEFINED
+from repro.errors import ClassAdSyntaxError
+
+
+def test_tokenize_basic():
+    tokens = tokenize('CpuLoad >= 0.5 && Name == "lucky7"')
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["IDENT", "OP", "REAL", "OP", "IDENT", "OP", "STRING", "EOF"]
+
+
+def test_tokenize_meta_operators():
+    tokens = tokenize("a =?= b =!= c")
+    ops = [t.text for t in tokens if t.kind == "OP"]
+    assert ops == ["=?=", "=!="]
+
+
+def test_tokenize_string_escapes():
+    tokens = tokenize(r'"he said \"hi\"\n"')
+    assert tokens[0].text == 'he said "hi"\n'
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(ClassAdSyntaxError):
+        tokenize('"oops')
+
+
+def test_tokenize_bad_character():
+    with pytest.raises(ClassAdSyntaxError):
+        tokenize("a @ b")
+
+
+def test_parse_literals():
+    assert parse_expr("42") == Literal(42)
+    assert parse_expr("3.25") == Literal(3.25)
+    assert parse_expr('"text"') == Literal("text")
+    assert parse_expr("TRUE") == Literal(True)
+    assert parse_expr("False") == Literal(False)
+    assert parse_expr("UNDEFINED") == Literal(UNDEFINED)
+    assert parse_expr("error") == Literal(ERROR)
+
+
+def test_parse_scientific_notation():
+    assert parse_expr("1e3") == Literal(1000.0)
+    assert parse_expr("2.5E-2") == Literal(0.025)
+
+
+def test_parse_attr_refs():
+    assert parse_expr("CpuLoad") == AttrRef("CpuLoad")
+    assert parse_expr("MY.Rank") == AttrRef("Rank", scope="my")
+    assert parse_expr("TARGET.Memory") == AttrRef("Memory", scope="target")
+
+
+def test_parse_precedence():
+    # 1 + 2 * 3 < 10 && x  parses as ((1 + (2*3)) < 10) && x
+    expr = parse_expr("1 + 2 * 3 < 10 && x")
+    assert isinstance(expr, BinaryOp) and expr.op == "&&"
+    cmp_node = expr.left
+    assert isinstance(cmp_node, BinaryOp) and cmp_node.op == "<"
+    add_node = cmp_node.left
+    assert isinstance(add_node, BinaryOp) and add_node.op == "+"
+    assert isinstance(add_node.right, BinaryOp) and add_node.right.op == "*"
+
+
+def test_parse_parentheses_override():
+    expr = parse_expr("(1 + 2) * 3")
+    assert isinstance(expr, BinaryOp) and expr.op == "*"
+    assert isinstance(expr.left, BinaryOp) and expr.left.op == "+"
+
+
+def test_parse_unary():
+    assert parse_expr("-x") == UnaryOp("-", AttrRef("x"))
+    assert parse_expr("!ready") == UnaryOp("!", AttrRef("ready"))
+    assert parse_expr("+5") == Literal(5)
+
+
+def test_parse_function_call():
+    expr = parse_expr('ifThenElse(x > 1, "big", "small")')
+    assert isinstance(expr, FuncCall)
+    assert expr.name == "ifthenelse"
+    assert len(expr.args) == 3
+
+
+def test_parse_left_associativity():
+    expr = parse_expr("10 - 2 - 3")
+    assert isinstance(expr, BinaryOp)
+    assert expr.op == "-"
+    assert isinstance(expr.left, BinaryOp)  # (10-2)-3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "  ", "1 +", "(1", "1)", "a &&", "MY.", "f(1,", "* 3", "a . b"],
+)
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(ClassAdSyntaxError):
+        parse_expr(bad)
+
+
+def test_str_roundtrip_examples():
+    for text in [
+        "(CpuLoad >= 0.5)",
+        '(Name == "lucky")',
+        "((a + b) * c)",
+        "(MY.Rank > TARGET.Rank)",
+        "ifThenElse(x, 1, 2)",
+        "(a =?= UNDEFINED)",
+    ]:
+        expr = parse_expr(text)
+        assert parse_expr(str(expr)) == expr
+
+
+def test_complexity_counts_nodes():
+    assert parse_expr("1").complexity() == 1
+    assert parse_expr("1 + 2").complexity() == 3
+    assert parse_expr("f(1, 2, 3)").complexity() == 4
+    assert parse_expr("!(a && b)").complexity() == 4
+
+
+_numbers = st.integers(min_value=0, max_value=999)
+
+
+@given(_numbers, _numbers, st.sampled_from(["+", "-", "*", "<", "<=", "==", ">=", ">"]))
+def test_property_binary_roundtrip(a, b, op):
+    expr = parse_expr(f"{a} {op} {b}")
+    assert parse_expr(str(expr)) == expr

@@ -1,0 +1,44 @@
+"""Tests for the Table-1 component mapping."""
+
+from repro.core.components import (
+    COMPONENT_MAPPING,
+    Role,
+    System,
+    component_for,
+    render_table1,
+    roles_of,
+)
+
+
+def test_mapping_is_total():
+    assert len(COMPONENT_MAPPING) == len(Role) * len(System)
+
+
+def test_table1_cells_match_paper():
+    assert component_for(System.MDS, Role.INFORMATION_COLLECTOR) == "Information Provider"
+    assert component_for(System.MDS, Role.INFORMATION_SERVER) == "GRIS"
+    assert component_for(System.MDS, Role.AGGREGATE_INFORMATION_SERVER) == "GIIS"
+    assert component_for(System.MDS, Role.DIRECTORY_SERVER) == "GIIS"
+    assert component_for(System.RGMA, Role.INFORMATION_COLLECTOR) == "Producer"
+    assert component_for(System.RGMA, Role.INFORMATION_SERVER) == "ProducerServlet"
+    assert component_for(System.RGMA, Role.AGGREGATE_INFORMATION_SERVER) is None
+    assert component_for(System.RGMA, Role.DIRECTORY_SERVER) == "Registry"
+    assert component_for(System.HAWKEYE, Role.INFORMATION_COLLECTOR) == "Module"
+    assert component_for(System.HAWKEYE, Role.INFORMATION_SERVER) == "Agent"
+    assert component_for(System.HAWKEYE, Role.AGGREGATE_INFORMATION_SERVER) == "Manager"
+    assert component_for(System.HAWKEYE, Role.DIRECTORY_SERVER) == "Manager"
+
+
+def test_giis_and_manager_play_two_roles():
+    assert set(roles_of(System.MDS, "GIIS")) == {
+        Role.AGGREGATE_INFORMATION_SERVER,
+        Role.DIRECTORY_SERVER,
+    }
+    assert len(roles_of(System.HAWKEYE, "Manager")) == 2
+    assert roles_of(System.RGMA, "Registry") == [Role.DIRECTORY_SERVER]
+
+
+def test_render_table1_contains_all_components():
+    text = render_table1()
+    for needle in ("GRIS", "GIIS", "ProducerServlet", "Registry", "Agent", "Manager", "None"):
+        assert needle in text

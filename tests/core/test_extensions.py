@@ -1,0 +1,137 @@
+"""Tests for the future-work extensions (paper §4, §3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments.extensions import (
+    WAN_PROFILES,
+    access_pattern_sweep,
+    aggregate_vs_direct,
+    hierarchy_comparison,
+    wan_sweep,
+)
+from repro.core.params import WorkloadParams
+from repro.core.workload import THINK_PATTERNS, make_think_sampler
+
+FAST = dict(warmup=5.0, window=15.0)
+
+
+# -- access patterns ------------------------------------------------------
+
+
+class TestThinkPatterns:
+    def test_all_patterns_registered(self):
+        assert set(THINK_PATTERNS) == {"constant", "exponential", "pareto", "onoff"}
+
+    def test_unknown_pattern_raises(self):
+        wp = WorkloadParams(pattern="nonesuch")
+        with pytest.raises(KeyError):
+            make_think_sampler(wp, np.random.default_rng(0))
+
+    @pytest.mark.parametrize("pattern", sorted(THINK_PATTERNS))
+    def test_patterns_positive_and_mean_about_right(self, pattern):
+        wp = WorkloadParams(pattern=pattern, think_time=1.0)
+        sampler = make_think_sampler(wp, np.random.default_rng(42))
+        waits = [sampler() for _ in range(4000)]
+        assert all(w >= 0 for w in waits)
+        mean = sum(waits) / len(waits)
+        # All patterns target a ~1 s mean (Pareto converges slowly).
+        assert 0.5 < mean < 2.0, (pattern, mean)
+
+    def test_constant_pattern_tight(self):
+        wp = WorkloadParams(pattern="constant", think_time=1.0, think_jitter=0.15)
+        sampler = make_think_sampler(wp, np.random.default_rng(1))
+        waits = [sampler() for _ in range(100)]
+        assert all(0.85 <= w <= 1.15 for w in waits)
+
+    def test_onoff_pattern_is_bursty(self):
+        wp = WorkloadParams(pattern="onoff", think_time=1.0)
+        sampler = make_think_sampler(wp, np.random.default_rng(2))
+        waits = [sampler() for _ in range(500)]
+        short = sum(1 for w in waits if w <= 0.1)
+        long = sum(1 for w in waits if w > 2.0)
+        assert short > 300  # mostly quick-fire
+        assert long > 20  # punctuated by long idles
+
+    def test_pattern_sweep_keeps_server_saturated_similarly(self):
+        results = access_pattern_sweep("rgma-ps-lucky", users=200, seed=2, **FAST)
+        throughputs = [p.throughput for _label, p in results]
+        # The ProducerServlet cap is pattern-insensitive: same bottleneck.
+        assert max(throughputs) - min(throughputs) < 0.35 * max(throughputs)
+
+
+# -- WAN ---------------------------------------------------------------
+
+
+class TestWan:
+    def test_profiles_cover_lan_to_intercontinental(self):
+        labels = [label for label, _l, _b in WAN_PROFILES]
+        assert labels[0] == "lan" and labels[-1] == "intercontinental"
+
+    def test_wan_latency_degrades_response(self):
+        results = dict(
+            (label, p) for label, p in wan_sweep("hawkeye-agent", users=50, seed=2, **FAST)
+        )
+        assert (
+            results["intercontinental"].response_time
+            > results["lan"].response_time
+        )
+
+    def test_latency_dominated_service_barely_notices(self):
+        """GRIS-cache responses are dominated by server-side connection
+        overhead, so even an intercontinental WAN adds little — the
+        paper's 'network matters at the *server* side' in another guise."""
+        results = dict((label, p) for label, p in wan_sweep(users=100, seed=2, **FAST))
+        assert results["intercontinental"].response_time < (
+            results["lan"].response_time + 0.5
+        )
+
+
+# -- aggregate vs direct -------------------------------------------------------
+
+
+def test_aggregate_vs_direct_same_information():
+    out = aggregate_vs_direct(users=50, seed=2, **FAST)
+    assert out["direct-gris"].throughput > 5
+    assert out["via-giis"].throughput > 5
+    # The cached GIIS (no per-query GSI/connection ramp at this load)
+    # answers the same question faster than the GRIS itself.
+    assert out["via-giis"].response_time < out["direct-gris"].response_time
+
+
+# -- multi-layer hierarchy ------------------------------------------------------
+
+
+class TestPushVsPull:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        from repro.core.experiments.extensions import push_vs_pull
+
+        return push_vs_pull(watchers=30, poll_interval=10.0, seed=3, warmup=10.0, window=50.0)
+
+    def test_push_latency_far_lower(self, outcome):
+        assert outcome["push"].mean_latency < outcome["pull"].mean_latency / 10
+
+    def test_push_delivers_every_event(self, outcome):
+        # Pull collapses events between polls; push never misses.
+        assert outcome["push"].notifications >= outcome["pull"].notifications
+
+    def test_pull_costs_more_wire_traffic_per_notification(self, outcome):
+        pull, push = outcome["pull"], outcome["push"]
+        assert pull.messages / pull.notifications > push.messages / push.notifications
+
+    def test_pull_costs_more_server_cpu(self, outcome):
+        assert outcome["pull"].server_cpu_pct > outcome["push"].server_cpu_pct
+
+
+class TestHierarchy:
+    def test_two_level_beats_flat_at_100_registrants(self):
+        out = hierarchy_comparison(100, users=10, seed=2, **FAST)
+        assert out["two-level"].throughput > 4 * out["flat"].throughput
+        assert out["two-level"].response_time < out["flat"].response_time / 4
+
+    def test_two_level_survives_where_flat_crashes(self):
+        out = hierarchy_comparison(300, users=10, seed=2, **FAST)
+        assert out["flat"].crashed  # query-all limit is 200
+        assert not out["two-level"].crashed
+        assert out["two-level"].throughput > 1.0

@@ -1,0 +1,160 @@
+"""Tests for the figure registry, series containers and renderers."""
+
+import pytest
+
+from repro.core.experiments import exp1, exp2, exp3, exp4
+from repro.core.figures import (
+    FIGURES,
+    main,
+    points_to_series,
+    reproduce_figure,
+)
+from repro.core.results import Figure, Series
+from repro.core.runner import PointResult
+from repro.core.metrics import MetricsSummary
+
+
+def fake_point(system, x, throughput=1.0, crashed=False):
+    return PointResult(
+        system=system,
+        x=x,
+        summary=MetricsSummary(
+            throughput=throughput,
+            response_time=2.0,
+            load1=0.5,
+            cpu_load=10.0,
+            completed=10,
+            refused=0,
+            timeouts=0,
+            errors=0,
+            window=60.0,
+        ),
+        crashed=crashed,
+    )
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_all_sixteen_figures_registered():
+    assert sorted(FIGURES) == list(range(5, 21))
+
+
+def test_figures_map_to_experiments():
+    assert FIGURES[5].experiment is exp1
+    assert FIGURES[9].experiment is exp2
+    assert FIGURES[13].experiment is exp3
+    assert FIGURES[17].experiment is exp4
+    assert FIGURES[6].metric == "response_time"
+    assert FIGURES[11].metric == "load1"
+    assert FIGURES[20].metric == "cpu_load"
+
+
+def test_points_to_series_extracts_metric():
+    points = [fake_point("s", 10, throughput=5.0), fake_point("s", 20, throughput=7.0)]
+    series = points_to_series("s", points, "throughput")
+    assert series.points == [(10, 5.0), (20, 7.0)]
+
+
+def test_points_to_series_marks_crashes():
+    points = [fake_point("s", 10), fake_point("s", 300, crashed=True)]
+    series = points_to_series("s", points, "throughput")
+    assert series.dnf == [300]
+    assert len(series.points) == 1
+
+
+def test_reproduce_figure_runs_and_caches():
+    cache = {}
+    fig5 = reproduce_figure(
+        5, seed=1, systems=("mds-gris-nocache",), x_values=(10,),
+        sweep_cache=cache, warmup=5.0, window=10.0,
+    )
+    assert len(fig5.series) == 1
+    assert fig5.series[0].points[0][0] == 10
+    # Figure 6 reuses the cached sweep (no new runs).
+    fig6 = reproduce_figure(
+        6, seed=1, systems=("mds-gris-nocache",), x_values=(10,),
+        sweep_cache=cache, warmup=5.0, window=10.0,
+    )
+    assert len(cache) == 1
+    assert fig6.series[0].points[0][1] > 0  # response time extracted
+
+
+# -- results containers ---------------------------------------------------------
+
+
+def make_figure():
+    fig = Figure(number=5, title="T", xlabel="users", ylabel="q/s")
+    s1 = Series("a", [(10, 1.0), (20, 2.0)])
+    s2 = Series("b", [(10, 3.0)], dnf=[20])
+    fig.series = [s1, s2]
+    return fig
+
+
+def test_series_accessors():
+    s = Series("x", [(1, 10.0), (2, 20.0)])
+    assert s.xs == [1, 2]
+    assert s.ys == [10.0, 20.0]
+    assert s.y_at(2) == 20.0
+    assert s.y_at(99) is None
+
+
+def test_figure_all_xs_union():
+    assert make_figure().all_xs() == [10, 20]
+
+
+def test_figure_series_by_label():
+    fig = make_figure()
+    assert fig.series_by_label("b").dnf == [20]
+    with pytest.raises(KeyError):
+        fig.series_by_label("zzz")
+
+
+def test_to_table_contains_crash_marker():
+    text = make_figure().to_table()
+    assert "CRASH" in text
+    assert "Figure 5" in text
+    assert "users" in text
+
+
+def test_to_csv_format():
+    csv = make_figure().to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "figure,series,x,y"
+    assert "5,a,10,1" in csv
+    assert lines[-1] == "5,b,20,"  # DNF row has empty y
+
+
+def test_to_ascii_chart_draws_markers():
+    chart = make_figure().to_ascii_chart(width=20, height=8)
+    assert "o" in chart and "x" in chart
+    assert "= a" in chart and "= b" in chart
+
+
+def test_to_markdown_format():
+    md = make_figure().to_markdown()
+    assert md.startswith("**Figure 5:")
+    assert "| users | a | b |" in md
+    assert "CRASH" in md
+    assert "| 10 | 1.000 | 3.000 |" in md
+
+
+def test_empty_figure_chart():
+    fig = Figure(number=7, title="empty", xlabel="x", ylabel="y")
+    assert "no data" in fig.to_ascii_chart()
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def test_cli_rejects_unknown_figure(capsys):
+    with pytest.raises(SystemExit):
+        main(["4"])
+
+
+def test_cli_quick_csv(capsys):
+    rc = main(["13", "--quick", "--csv", "--seed", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("figure,series,x,y")
+    assert "13,mds-gris-cache" in out

@@ -1,0 +1,223 @@
+"""Tests for metrics reduction, testbed construction and the workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    OUTCOME_OK,
+    OUTCOME_REFUSED,
+    RequestLog,
+    summarize,
+)
+from repro.core.params import TestbedParams, WorkloadParams, default_params
+from repro.core.testbed import LUCKY_NAMES, assign_users_to_clients, build_testbed
+from repro.core.workload import spawn_users
+from repro.sim import Host, Network, Response, Service, Simulator
+from repro.sim.monitor import Ganglia
+
+
+# -- testbed -----------------------------------------------------------------
+
+
+def test_testbed_topology():
+    sim = Simulator()
+    tb = build_testbed(sim, TestbedParams())
+    assert len(tb.lucky) == 7
+    assert "lucky2" not in tb.lucky  # there was no lucky2
+    assert len(tb.uc) == 20
+    assert all(h.site == "anl" for h in tb.lucky.values())
+    assert all(h.site == "uc" for h in tb.uc)
+    assert tb.lucky["lucky0"].cpus == 2
+    assert tb.uc[0].cpus == 1
+
+
+def test_testbed_slow_uc_machines():
+    sim = Simulator()
+    tb = build_testbed(sim, TestbedParams())
+    fast = tb.uc[0].cpu.rate
+    slow = tb.uc[19].cpu.rate
+    assert slow < fast  # "the rest had a slightly slower CPU"
+
+
+def test_testbed_host_lookup():
+    sim = Simulator()
+    tb = build_testbed(sim, TestbedParams())
+    assert tb.host("lucky3").name == "lucky3.mcs.anl.gov"
+    assert tb.host("uc00.cs.uchicago.edu") is tb.uc[0]
+    with pytest.raises(KeyError):
+        tb.host("nonesuch")
+
+
+def test_testbed_wan_latency():
+    sim = Simulator()
+    tb = build_testbed(sim, TestbedParams())
+    assert tb.net.latency(tb.lucky["lucky0"], tb.uc[0]) == pytest.approx(0.013)
+    assert tb.net.latency(tb.lucky["lucky0"], tb.lucky["lucky1"]) == pytest.approx(0.0002)
+
+
+def test_monitored_filter():
+    sim = Simulator()
+    tb = build_testbed(sim, TestbedParams(), monitored=("lucky3",))
+    assert list(tb.monitor.records) == ["lucky3.mcs.anl.gov"]
+
+
+def test_assign_users_round_robin():
+    sim = Simulator()
+    tb = build_testbed(sim, TestbedParams())
+    clients = assign_users_to_clients(45, tb.uc, 50)
+    assert len(clients) == 45
+    # Evenly spread: machine 0 gets ceil(45/20) = 3, machine 19 gets 2.
+    assert clients.count(tb.uc[0]) == 3
+    assert clients.count(tb.uc[19]) == 2
+
+
+def test_assign_users_capacity_limit():
+    sim = Simulator()
+    tb = build_testbed(sim, TestbedParams())
+    with pytest.raises(ValueError):
+        assign_users_to_clients(1001, tb.uc, 50)
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+def make_monitored_host():
+    sim = Simulator()
+    host = Host(sim, "server")
+    monitor = Ganglia(sim, [host])
+    return sim, host, monitor
+
+
+def test_summarize_throughput_and_response():
+    sim, host, monitor = make_monitored_host()
+    sim.run(until=60.0)
+    log = RequestLog()
+    for i in range(30):
+        log.add(0, started=10.0 + i, finished=12.0 + i, outcome=OUTCOME_OK)
+    summary = summarize(log, monitor, host, 0.0, 60.0)
+    assert summary.completed == 30
+    assert summary.throughput == pytest.approx(0.5)
+    assert summary.response_time == pytest.approx(2.0)
+
+
+def test_summarize_window_excludes_outside_completions():
+    sim, host, monitor = make_monitored_host()
+    sim.run(until=100.0)
+    log = RequestLog()
+    log.add(0, 1.0, 5.0, OUTCOME_OK)  # completes before window
+    log.add(0, 20.0, 30.0, OUTCOME_OK)  # inside
+    log.add(0, 80.0, 95.0, OUTCOME_OK)  # after window
+    summary = summarize(log, monitor, host, 10.0, 70.0)
+    assert summary.completed == 1
+    assert summary.response_time == pytest.approx(10.0)
+
+
+def test_summarize_counts_failures():
+    sim, host, monitor = make_monitored_host()
+    sim.run(until=10.0)
+    log = RequestLog()
+    log.add(0, 1.0, 2.0, OUTCOME_REFUSED)
+    log.add(0, 2.0, 3.0, OUTCOME_OK)
+    summary = summarize(log, monitor, host, 0.0, 10.0)
+    assert summary.refused == 1
+    assert summary.completed == 1
+
+
+def test_summarize_empty_window_rejected():
+    sim, host, monitor = make_monitored_host()
+    log = RequestLog()
+    with pytest.raises(ValueError):
+        summarize(log, monitor, host, 10.0, 10.0)
+
+
+def test_request_log_counts():
+    log = RequestLog()
+    log.add(0, 0, 1, OUTCOME_OK)
+    log.add(1, 0, 2, OUTCOME_OK)
+    log.add(2, 0, 3, OUTCOME_REFUSED)
+    assert log.count(OUTCOME_OK) == 2
+    assert log.count(OUTCOME_REFUSED) == 1
+
+
+# -- workload ----------------------------------------------------------------
+
+
+def echo_service(sim, net, host, delay=0.5):
+    def handler(service, request):
+        yield sim.timeout(delay)
+        return Response(value="ok", size=256)
+
+    return Service(sim, net, host, "echo", handler)
+
+
+def test_users_obey_think_time():
+    """Throughput of one user ~ 1/(response + think)."""
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server")
+    client = Host(sim, "client")
+    service = echo_service(sim, net, server, delay=0.5)
+    log = RequestLog()
+    wp = WorkloadParams(think_time=1.0, think_jitter=0.0, start_spread=0.0)
+    spawn_users(
+        sim, net, [client], service,
+        log=log, wp=wp, rng=np.random.default_rng(0),
+    )
+    sim.run(until=30.0)
+    completed = log.count(OUTCOME_OK)
+    assert completed == pytest.approx(30.0 / 1.5, abs=2)
+
+
+def test_many_users_scale_throughput():
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server")
+    clients = [Host(sim, f"c{i}") for i in range(10)]
+    service = echo_service(sim, net, server, delay=0.5)
+    log = RequestLog()
+    wp = WorkloadParams(think_time=1.0, think_jitter=0.0, start_spread=1.0)
+    spawn_users(
+        sim, net, clients, service,
+        log=log, wp=wp, rng=np.random.default_rng(0),
+    )
+    sim.run(until=30.0)
+    assert log.count(OUTCOME_OK) > 150  # ~10 x 20
+
+
+def test_refused_users_retry():
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server")
+    client = Host(sim, "client")
+
+    def handler(service, request):
+        yield sim.timeout(100.0)  # hog the only thread forever
+        return Response(value="late", size=64)
+
+    service = Service(sim, net, server, "tiny", handler, max_threads=1, backlog=0)
+    log = RequestLog()
+    wp = WorkloadParams(think_time=1.0, think_jitter=0.0, start_spread=0.0, retry_wait=1.0)
+    clients = [client, client]  # second user always refused
+    spawn_users(sim, net, clients, service, log=log, wp=wp, rng=np.random.default_rng(0))
+    sim.run(until=20.0)
+    assert log.count(OUTCOME_REFUSED) >= 15  # retried roughly every second
+
+
+def test_services_by_user_routing():
+    sim = Simulator()
+    net = Network(sim)
+    host_a = Host(sim, "a")
+    host_b = Host(sim, "b")
+    client = Host(sim, "client")
+    svc_a = echo_service(sim, net, host_a, delay=0.1)
+    svc_b = echo_service(sim, net, host_b, delay=0.1)
+    log = RequestLog()
+    wp = WorkloadParams(think_time=1.0, think_jitter=0.0, start_spread=0.0)
+    spawn_users(
+        sim, net, [client, client], svc_a,
+        log=log, wp=wp, rng=np.random.default_rng(0),
+        services_by_user=[svc_a, svc_b],
+    )
+    sim.run(until=10.0)
+    assert svc_a.stats.completed > 0
+    assert svc_b.stats.completed > 0

@@ -1,0 +1,105 @@
+"""Sanity checks on the calibrated parameter set.
+
+These encode the *relationships* the calibration relies on, so that a
+future re-tuning cannot silently break a published ordering.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.core.params import default_params, measurement_window
+from repro.sim.rpc import ConnectionOverhead
+
+
+@pytest.fixture
+def p():
+    return default_params()
+
+
+def test_all_cpu_costs_positive(p):
+    assert p.gris.cpu_per_query > 0
+    assert p.giis.cpu_per_query > 0
+    assert p.agent.cpu_per_query > 0
+    assert p.producer_servlet.cpu_per_query > 0
+    assert p.registry.cpu_per_query > 0
+    assert p.manager.cpu_per_query > 0
+
+
+def test_giis_heavier_than_manager_per_query(p):
+    """Fig 12: the LDAP backend costs ~2x the indexed resident database."""
+    assert p.giis.cpu_per_query > 2 * p.manager.cpu_per_query
+
+
+def test_uncached_gris_cap_below_two_qps(p):
+    """Fig 5: 10 serialized providers must cap throughput under 2 q/s."""
+    cap = 1.0 / (10 * p.gris.provider_hold)
+    assert 1.5 < cap < 2.0
+
+
+def test_agent_quadratic_calibration(p):
+    """The same coefficient must satisfy Exp 1 (m=11) and Exp 3 (m=90)."""
+    hold_11 = p.agent.fetch_quad_coeff * 11**2
+    hold_90 = p.agent.fetch_quad_coeff * 90**2
+    assert 1.0 / hold_11 > 35  # Exp 1: Agent sustains ~40+ q/s
+    assert 1.0 / hold_90 < 1.0  # Exp 3: collapses below 1 q/s
+
+
+def test_producer_servlet_hold_calibration(p):
+    ps = p.producer_servlet
+    hold_10 = ps.db_hold_linear * 10 + ps.db_hold_quad * 100
+    hold_90 = ps.db_hold_linear * 90 + ps.db_hold_quad * 8100
+    assert 8 < 1.0 / hold_10 < 13  # Exp 1 cap ~10 q/s
+    assert 1.0 / hold_90 < 1.0  # Exp 3 collapse
+
+
+def test_registry_cpu_binds_before_thread_pool(p):
+    """Fig 11's high load1 needs the Registry CPU-bound, not pool-bound."""
+    cpu_cap = 2.0 / p.registry.cpu_per_query  # 2 cores
+    pool_cap = p.registry.max_threads / p.registry.conn_overhead.latency(
+        p.registry.max_threads
+    )
+    assert cpu_cap < pool_cap
+
+
+def test_giis_crash_limits_match_paper(p):
+    assert p.giis.max_queryall_registrants == 200
+    assert p.giis.max_registrants == 500
+
+
+def test_connection_overhead_monotone_bounded():
+    co = ConnectionOverhead(base=0.15, extra=3.8, scale=40.0)
+    values = [co.latency(c) for c in range(0, 1000, 25)]
+    assert values == sorted(values)
+    assert values[-1] <= 0.15 + 3.8 + 1e-9
+
+
+def test_fractions_are_fractions(p):
+    for frac in (
+        p.gris.provider_cpu_fraction,
+        p.agent.fetch_cpu_fraction,
+        p.producer_servlet.db_cpu_fraction,
+    ):
+        assert 0.0 <= frac <= 1.0
+
+
+def test_params_are_frozen(p):
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        p.gris.cpu_per_query = 1.0  # type: ignore[misc]
+
+
+def test_measurement_window_modes(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert measurement_window() == (20.0, 60.0)
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert measurement_window() == (60.0, 600.0)
+
+
+def test_testbed_matches_paper(p):
+    tb = p.testbed
+    assert tb.lucky_cpus == 2  # dual PIII
+    assert tb.lucky_mem_mb == 512
+    assert tb.uc_client_machines == 20
+    assert tb.max_users_per_uc_machine == 50
+    assert tb.uc_mem_mb == 248

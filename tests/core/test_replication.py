@@ -1,0 +1,88 @@
+"""Tests for multi-seed replication statistics."""
+
+import math
+
+import pytest
+
+from repro.core.experiments import exp3
+from repro.core.metrics import MetricsSummary
+from repro.core.replication import (
+    ReplicateStat,
+    _t_critical,
+    replicate_point,
+    summarize_replicates,
+)
+from repro.core.runner import PointResult
+
+
+def fake_point(throughput, crashed=False):
+    return PointResult(
+        system="s",
+        x=1,
+        summary=MetricsSummary(
+            throughput=throughput,
+            response_time=throughput / 10,
+            load1=0.1,
+            cpu_load=5.0,
+            completed=1,
+            refused=0,
+            timeouts=0,
+            errors=0,
+            window=10.0,
+        ),
+        crashed=crashed,
+    )
+
+
+def test_t_critical_values():
+    assert _t_critical(1) == pytest.approx(12.706)
+    assert _t_critical(4) == pytest.approx(2.776)
+    assert _t_critical(12) == pytest.approx(2.131)  # rounds up to df=15 bucket
+    assert _t_critical(1000) == pytest.approx(1.96)
+    assert _t_critical(0) == float("inf")
+
+
+def test_summarize_mean_and_interval():
+    points = [fake_point(x) for x in (10.0, 12.0, 14.0)]
+    stats = summarize_replicates(points)
+    assert stats["throughput"].mean == pytest.approx(12.0)
+    assert stats["throughput"].n == 3
+    # s = 2, half = 4.303 * 2/sqrt(3)
+    assert stats["throughput"].half_width == pytest.approx(4.303 * 2 / math.sqrt(3), rel=1e-3)
+    assert stats["throughput"].low < 12.0 < stats["throughput"].high
+
+
+def test_single_replicate_infinite_interval():
+    stats = summarize_replicates([fake_point(5.0)])
+    assert stats["throughput"].mean == 5.0
+    assert math.isinf(stats["throughput"].half_width)
+
+
+def test_crashed_replicates_excluded():
+    points = [fake_point(10.0), fake_point(0.0, crashed=True), fake_point(14.0)]
+    stats = summarize_replicates(points)
+    assert stats["throughput"].n == 2
+    assert stats["throughput"].mean == pytest.approx(12.0)
+
+
+def test_all_crashed_gives_nan():
+    stats = summarize_replicates([fake_point(0.0, crashed=True)])
+    assert stats["throughput"].n == 0
+    assert math.isnan(stats["throughput"].mean)
+
+
+def test_stat_str():
+    text = str(ReplicateStat(mean=1.5, half_width=0.25, n=5))
+    assert "1.500" in text and "0.250" in text and "n=5" in text
+
+
+def test_replicate_real_experiment_point():
+    points = replicate_point(
+        exp3.run_point, "mds-gris-cache", 10, seeds=(1, 2, 3), warmup=2.0, window=8.0
+    )
+    assert len(points) == 3
+    stats = summarize_replicates(points)
+    assert stats["throughput"].n == 3
+    # Seeds vary the noise, not the physics: tight interval around ~6.5.
+    assert 4.0 < stats["throughput"].mean < 9.0
+    assert stats["throughput"].half_width < 0.5 * stats["throughput"].mean

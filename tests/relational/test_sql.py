@@ -1,0 +1,301 @@
+"""Tests for the SQL parser, executor and database catalog."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError, SqlSyntaxError
+from repro.relational import (
+    Comparison,
+    Constant,
+    Database,
+    InsertStmt,
+    SelectStmt,
+    parse_sql,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE cpuLoad (host VARCHAR(64), load1 REAL, cpus INT, site VARCHAR(16))"
+    )
+    rows = [
+        ("lucky0", 0.10, 2, "anl"),
+        ("lucky1", 0.55, 2, "anl"),
+        ("lucky3", 1.20, 2, "anl"),
+        ("ucgrid1", 0.90, 1, "uc"),
+        ("ucgrid2", None, 1, "uc"),
+    ]
+    for row in rows:
+        database.execute(
+            InsertStmt(table="cpuLoad", columns=None, rows=(row,))
+        )
+    return database
+
+
+# -- parsing -----------------------------------------------------------------
+
+
+def test_parse_select_star():
+    stmt = parse_sql("SELECT * FROM cpuLoad")
+    assert isinstance(stmt, SelectStmt)
+    assert stmt.columns == ("*",)
+    assert stmt.table == "cpuLoad"
+
+
+def test_parse_select_columns_and_clauses():
+    stmt = parse_sql(
+        "SELECT host, load1 FROM cpuLoad WHERE load1 > 0.5 AND site = 'anl' "
+        "ORDER BY load1 DESC, host LIMIT 10"
+    )
+    assert stmt.columns == ("host", "load1")
+    assert stmt.where is not None
+    assert stmt.order_by[0].column == "load1" and stmt.order_by[0].descending
+    assert stmt.order_by[1].column == "host" and not stmt.order_by[1].descending
+    assert stmt.limit == 10
+
+
+def test_parse_count_star():
+    stmt = parse_sql("SELECT COUNT(*) FROM cpuLoad WHERE cpus = 2")
+    assert stmt.count_star
+
+
+def test_parse_insert_multi_row():
+    stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+    assert isinstance(stmt, InsertStmt)
+    assert stmt.columns == ("a", "b")
+    assert stmt.rows == ((1, "x"), (2, "y"))
+
+
+def test_parse_string_escape():
+    stmt = parse_sql("SELECT * FROM t WHERE name = 'O''Brien'")
+    assert isinstance(stmt.where, Comparison)
+    assert stmt.where.right == Constant("O'Brien")
+
+
+def test_parse_negative_number():
+    stmt = parse_sql("SELECT * FROM t WHERE x = -5")
+    assert stmt.where.right == Constant(-5)
+
+
+def test_parse_create_table():
+    stmt = parse_sql("CREATE TABLE t (a INT, b VARCHAR(255), c DOUBLE)")
+    assert stmt.columns == (("a", "INT"), ("b", "VARCHAR(255)"), ("c", "DOUBLE"))
+
+
+def test_parse_delete():
+    stmt = parse_sql("DELETE FROM t WHERE a = 1")
+    assert stmt.table == "t"
+    assert stmt.where is not None
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT * FROM",
+        "SELECT * FROM t WHERE",
+        "SELECT * FROM t LIMIT x",
+        "INSERT INTO t VALUES",
+        "CREATE TABLE t ()",
+        "SELECT * FROM t WHERE a LIKE 5",
+        "SELECT * FROM t extra",
+        "DROP TABLE t",
+        "SELECT * FROM t WHERE a = 'unterminated",
+    ],
+)
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(SqlSyntaxError):
+        parse_sql(bad)
+
+
+# -- execution -----------------------------------------------------------
+
+
+def test_select_all(db):
+    result = db.query("SELECT * FROM cpuLoad")
+    assert len(result) == 5
+    assert result.columns == ("host", "load1", "cpus", "site")
+
+
+def test_where_comparison(db):
+    result = db.query("SELECT host FROM cpuLoad WHERE load1 > 0.5")
+    assert {r[0] for r in result.rows} == {"lucky1", "lucky3", "ucgrid1"}
+
+
+def test_where_and_or_not(db):
+    result = db.query(
+        "SELECT host FROM cpuLoad WHERE site = 'anl' AND NOT load1 > 1.0"
+    )
+    assert {r[0] for r in result.rows} == {"lucky0", "lucky1"}
+    result2 = db.query("SELECT host FROM cpuLoad WHERE cpus = 1 OR load1 < 0.2")
+    assert {r[0] for r in result2.rows} == {"lucky0", "ucgrid1", "ucgrid2"}
+
+
+def test_null_three_valued_logic(db):
+    # NULL load1 never matches a comparison, nor its negation.
+    high = db.query("SELECT host FROM cpuLoad WHERE load1 > 0.5")
+    low = db.query("SELECT host FROM cpuLoad WHERE NOT load1 > 0.5")
+    names = {r[0] for r in high.rows} | {r[0] for r in low.rows}
+    assert "ucgrid2" not in names
+
+
+def test_is_null(db):
+    result = db.query("SELECT host FROM cpuLoad WHERE load1 IS NULL")
+    assert [r[0] for r in result.rows] == ["ucgrid2"]
+    result2 = db.query("SELECT COUNT(*) FROM cpuLoad WHERE load1 IS NOT NULL")
+    assert result2.rows[0][0] == 4
+
+
+def test_in_list(db):
+    result = db.query("SELECT host FROM cpuLoad WHERE host IN ('lucky0', 'lucky3')")
+    assert {r[0] for r in result.rows} == {"lucky0", "lucky3"}
+    result2 = db.query(
+        "SELECT COUNT(*) FROM cpuLoad WHERE site NOT IN ('uc')"
+    )
+    assert result2.rows[0][0] == 3
+
+
+def test_like(db):
+    result = db.query("SELECT host FROM cpuLoad WHERE host LIKE 'lucky%'")
+    assert len(result) == 3
+    result2 = db.query("SELECT host FROM cpuLoad WHERE host LIKE 'ucgrid_'")
+    assert len(result2) == 2
+    result3 = db.query("SELECT host FROM cpuLoad WHERE host NOT LIKE 'lucky%'")
+    assert len(result3) == 2
+
+
+def test_order_by_and_limit(db):
+    result = db.query(
+        "SELECT host FROM cpuLoad WHERE load1 IS NOT NULL ORDER BY load1 DESC LIMIT 2"
+    )
+    assert [r[0] for r in result.rows] == ["lucky3", "ucgrid1"]
+
+
+def test_order_by_nulls_first_ascending(db):
+    result = db.query("SELECT host FROM cpuLoad ORDER BY load1")
+    assert result.rows[0][0] == "ucgrid2"
+
+
+def test_count_star(db):
+    result = db.query("SELECT COUNT(*) FROM cpuLoad")
+    assert result.rows[0][0] == 5
+
+
+def test_projection_order(db):
+    result = db.query("SELECT cpus, host FROM cpuLoad LIMIT 1")
+    assert result.columns == ("cpus", "host")
+    assert result.rows[0] == (2, "lucky0")
+
+
+def test_delete(db):
+    removed = db.execute("DELETE FROM cpuLoad WHERE site = 'uc'")
+    assert removed == 2
+    assert db.query("SELECT COUNT(*) FROM cpuLoad").rows[0][0] == 3
+
+
+def test_insert_via_sql(db):
+    db.execute("INSERT INTO cpuLoad (host, cpus) VALUES ('new1', 4)")
+    result = db.query("SELECT load1, site FROM cpuLoad WHERE host = 'new1'")
+    assert result.rows == [(None, None)]
+
+
+def test_type_coercion_on_insert(db):
+    db.execute("INSERT INTO cpuLoad VALUES ('h', '2.5', '4', 'anl')")
+    result = db.query("SELECT load1, cpus FROM cpuLoad WHERE host = 'h'")
+    assert result.rows == [(2.5, 4)]
+
+
+def test_unknown_table_raises(db):
+    with pytest.raises(SchemaError):
+        db.query("SELECT * FROM nope")
+
+
+def test_unknown_column_raises(db):
+    with pytest.raises(SchemaError):
+        db.query("SELECT nope FROM cpuLoad")
+
+
+def test_duplicate_table_raises(db):
+    with pytest.raises(SchemaError):
+        db.execute("CREATE TABLE cpuLoad (x INT)")
+
+
+def test_index_speeds_lookup_and_reports(db):
+    table = db.table("cpuLoad")
+    table.create_index("host")
+    result = db.query("SELECT * FROM cpuLoad WHERE host = 'lucky1'")
+    assert result.index_used
+    assert result.rows_examined == 1
+    result2 = db.query("SELECT * FROM cpuLoad WHERE load1 > 0")
+    assert not result2.index_used
+    assert result2.rows_examined == 5
+
+
+def test_index_stays_consistent_after_mutations(db):
+    table = db.table("cpuLoad")
+    table.create_index("host")
+    db.execute("DELETE FROM cpuLoad WHERE host = 'lucky1'")
+    assert len(db.query("SELECT * FROM cpuLoad WHERE host = 'lucky1'").rows) == 0
+    db.execute("INSERT INTO cpuLoad VALUES ('lucky1', 0.2, 2, 'anl')")
+    result = db.query("SELECT load1 FROM cpuLoad WHERE host = 'lucky1'")
+    assert result.rows == [(0.2,)]
+    assert result.index_used
+
+
+def test_case_insensitive_identifiers(db):
+    result = db.query("SELECT HOST FROM CPULOAD WHERE SITE = 'anl'")
+    assert len(result) == 3
+
+
+def test_result_set_as_dicts(db):
+    dicts = db.query("SELECT host, cpus FROM cpuLoad LIMIT 1").as_dicts()
+    assert dicts == [{"host": "lucky0", "cpus": 2}]
+
+
+def test_result_estimated_size_positive(db):
+    assert db.query("SELECT * FROM cpuLoad").estimated_size() > 64
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+def test_property_where_partition(values):
+    """Every non-null row matches exactly one of P and NOT P."""
+    db = Database()
+    db.execute("CREATE TABLE t (v INT)")
+    for v in values:
+        db.execute(f"INSERT INTO t VALUES ({v})")
+    pos = db.query("SELECT COUNT(*) FROM t WHERE v >= 0").rows[0][0]
+    neg = db.query("SELECT COUNT(*) FROM t WHERE NOT v >= 0").rows[0][0]
+    assert pos + neg == len(values)
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=30))
+def test_property_order_by_sorts(values):
+    db = Database()
+    db.execute("CREATE TABLE t (v INT)")
+    for v in values:
+        db.execute(f"INSERT INTO t VALUES ({v})")
+    result = db.query("SELECT v FROM t ORDER BY v")
+    got = [r[0] for r in result.rows]
+    assert got == sorted(values)
+    result_desc = db.query("SELECT v FROM t ORDER BY v DESC")
+    assert [r[0] for r in result_desc.rows] == sorted(values, reverse=True)
+
+
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=30), st.integers(0, 20))
+def test_property_index_agrees_with_scan(values, probe):
+    db = Database()
+    db.execute("CREATE TABLE t (v INT)")
+    for v in values:
+        db.execute(f"INSERT INTO t VALUES ({v})")
+    scan = db.query(f"SELECT COUNT(*) FROM t WHERE v = {probe}").rows[0][0]
+    db.table("t").create_index("v")
+    indexed = db.query(f"SELECT COUNT(*) FROM t WHERE v = {probe}").rows[0][0]
+    assert scan == indexed == values.count(probe)

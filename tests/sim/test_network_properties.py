@@ -1,0 +1,75 @@
+"""Property-based tests of network conservation and ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Host, Network, Simulator
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=5_000_000), min_size=1, max_size=12)
+)
+def test_property_bytes_conserved(sizes):
+    """Accounting equals the sum of transfer sizes, however they overlap."""
+    sim = Simulator()
+    net = Network(sim)
+    a = Host(sim, "a", site="x")
+    b = Host(sim, "b", site="y")
+
+    def mover(nbytes):
+        yield from net.transfer(a, b, nbytes)
+
+    for nbytes in sizes:
+        sim.spawn(mover(nbytes))
+    sim.run()
+    assert net.bytes_transferred == sum(sizes)
+    assert net.messages == len(sizes)
+    # Everything that left the sender arrived at the receiver.
+    assert a.nic_out.snapshot().work_completed == sum(sizes)
+    assert b.nic_in.snapshot().work_completed == sum(sizes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nbytes=st.integers(min_value=1, max_value=10_000_000),
+    mbps=st.floats(min_value=1.0, max_value=1000.0),
+    latency=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_property_solo_transfer_time_lower_bound(nbytes, mbps, latency):
+    """One flow can never beat bandwidth + latency physics."""
+    sim = Simulator()
+    net = Network(sim)
+    net.set_latency("x", "y", latency)
+    a = Host(sim, "a", site="x", nic_mbps=mbps)
+    b = Host(sim, "b", site="y", nic_mbps=mbps)
+    done = []
+
+    def mover():
+        yield from net.transfer(a, b, nbytes)
+        done.append(sim.now)
+
+    sim.spawn(mover())
+    sim.run()
+    bandwidth_time = 2 * nbytes / (mbps * 1e6 / 8.0)  # both NICs serialize
+    assert done[0] == pytest.approx(bandwidth_time + latency, rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=20))
+def test_property_fair_sharing_equal_flows_finish_together(n_flows):
+    sim = Simulator()
+    net = Network(sim)
+    a = Host(sim, "a", site="x")
+    b = Host(sim, "b", site="y")
+    done = []
+
+    def mover():
+        yield from net.transfer(a, b, 1_000_000)
+        done.append(sim.now)
+
+    for _ in range(n_flows):
+        sim.spawn(mover())
+    sim.run()
+    assert max(done) - min(done) < 1e-6  # identical flows share identically

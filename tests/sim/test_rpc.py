@@ -1,0 +1,236 @@
+"""Tests for the RPC layer: thread pools, backlog refusal, timeouts, crashes."""
+
+import pytest
+
+from repro.errors import RequestTimeoutError, ServiceUnavailableError
+from repro.sim import (
+    ConnectionOverhead,
+    Host,
+    Network,
+    Response,
+    Service,
+    Simulator,
+    call,
+)
+
+
+def setup_pair(sim, **service_kwargs):
+    net = Network(sim, default_latency=1e-3)
+    server = Host(sim, "server", site="anl")
+    client = Host(sim, "client", site="uc")
+
+    def handler(service, request):
+        yield service.host.compute(0.01)
+        return Response(value={"echo": request.payload}, size=1024)
+
+    svc = Service(sim, net, server, "echo", handler, **service_kwargs)
+    return net, server, client, svc
+
+
+def test_basic_call_roundtrip():
+    sim = Simulator()
+    net, _, client, svc = setup_pair(sim)
+    results = []
+
+    def user(sim):
+        value = yield from call(sim, net, client, svc, "hello")
+        results.append((sim.now, value))
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert results[0][1] == {"echo": "hello"}
+    assert results[0][0] > 0.01  # cpu work + wire time
+
+
+def test_stats_track_completions():
+    sim = Simulator()
+    net, _, client, svc = setup_pair(sim)
+
+    def user(sim):
+        for _ in range(5):
+            yield from call(sim, net, client, svc, "x")
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert svc.stats.arrived == 5
+    assert svc.stats.completed == 5
+    assert svc.stats.refused == 0
+
+
+def test_thread_pool_serializes_beyond_capacity():
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server", cpus=8)
+    client = Host(sim, "client")
+
+    def handler(service, request):
+        yield service.sim.timeout(1.0)  # non-CPU dwell
+        return Response(value="ok", size=100)
+
+    svc = Service(sim, net, server, "slow", handler, max_threads=2, backlog=100)
+    done = []
+
+    def user(sim):
+        yield from call(sim, net, client, svc, None)
+        done.append(sim.now)
+
+    for _ in range(4):
+        sim.spawn(user(sim))
+    sim.run()
+    # 2 run immediately (~1s), 2 queue behind them (~2s).
+    assert sum(1 for t in done if t < 1.5) == 2
+    assert sum(1 for t in done if t > 1.5) == 2
+
+
+def test_backlog_overflow_refused():
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server")
+    client = Host(sim, "client")
+
+    def handler(service, request):
+        yield service.sim.timeout(10.0)
+        return Response(value="ok", size=100)
+
+    svc = Service(sim, net, server, "tiny", handler, max_threads=1, backlog=1)
+    outcomes = []
+
+    def user(sim):
+        try:
+            yield from call(sim, net, client, svc, None)
+            outcomes.append("ok")
+        except ServiceUnavailableError:
+            outcomes.append("refused")
+
+    for _ in range(4):
+        sim.spawn(user(sim))
+    sim.run()
+    assert outcomes.count("refused") == 2  # 1 running + 1 queued + 2 refused
+    assert svc.stats.refused == 2
+
+
+def test_client_timeout_raises_but_server_continues():
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server")
+    client = Host(sim, "client")
+    server_done = []
+
+    def handler(service, request):
+        yield service.sim.timeout(5.0)
+        server_done.append(service.sim.now)
+        return Response(value="late", size=100)
+
+    svc = Service(sim, net, server, "slow", handler)
+    outcomes = []
+
+    def user(sim):
+        try:
+            yield from call(sim, net, client, svc, None, timeout=1.0)
+        except RequestTimeoutError:
+            outcomes.append(sim.now)
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert outcomes == [pytest.approx(1.0)]
+    assert server_done  # abandoned request still completed server-side
+    assert svc.stats.completed == 1
+
+
+def test_crashed_service_refuses():
+    sim = Simulator()
+    net, _, client, svc = setup_pair(sim)
+    svc.crash("out of memory")
+    outcomes = []
+
+    def user(sim):
+        try:
+            yield from call(sim, net, client, svc, None)
+        except ServiceUnavailableError as exc:
+            outcomes.append(str(exc))
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert outcomes and "out of memory" in outcomes[0]
+
+
+def test_handler_application_error_propagates_to_client():
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server")
+    client = Host(sim, "client")
+
+    def handler(service, request):
+        yield service.host.compute(0.001)
+        raise KeyError("no such attribute")
+
+    svc = Service(sim, net, server, "flaky", handler)
+    outcomes = []
+
+    def user(sim):
+        try:
+            yield from call(sim, net, client, svc, None)
+        except KeyError:
+            outcomes.append("application-error")
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert outcomes == ["application-error"]
+    assert svc.stats.errors == 1
+
+
+def test_connection_overhead_latency_model():
+    co = ConnectionOverhead(base=0.4, extra=3.5, scale=20.0)
+    assert co.latency(0) == pytest.approx(0.4)
+    # Saturates toward base+extra for many connections.
+    assert co.latency(500) == pytest.approx(3.9, abs=1e-3)
+    # Monotone non-decreasing.
+    values = [co.latency(c) for c in range(0, 200, 10)]
+    assert values == sorted(values)
+
+
+def test_connection_overhead_applied_to_requests():
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server")
+    client = Host(sim, "client")
+
+    def handler(service, request):
+        yield service.host.compute(0.0)
+        return Response(value="ok", size=100)
+
+    svc = Service(
+        sim, net, server, "svc", handler,
+        conn_overhead=ConnectionOverhead(base=2.0, extra=0.0),
+    )
+    done = []
+
+    def user(sim):
+        yield from call(sim, net, client, svc, None)
+        done.append(sim.now)
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert done[0] == pytest.approx(2.0, abs=0.05)
+
+
+def test_concurrent_and_max_concurrent_stats():
+    sim = Simulator()
+    net = Network(sim)
+    server = Host(sim, "server")
+    client = Host(sim, "client")
+
+    def handler(service, request):
+        yield service.sim.timeout(1.0)
+        return Response(value="ok", size=100)
+
+    svc = Service(sim, net, server, "svc", handler, max_threads=10)
+
+    def user(sim):
+        yield from call(sim, net, client, svc, None)
+
+    for _ in range(5):
+        sim.spawn(user(sim))
+    sim.run()
+    assert svc.stats.max_concurrent == 5
+    assert svc.concurrent == 0

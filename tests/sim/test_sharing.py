@@ -1,0 +1,179 @@
+"""Tests for the virtual-time processor-sharing queue.
+
+PS has closed-form completion times for simple patterns, which these
+tests verify exactly; property-based tests check conservation laws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import ProcessorSharing, Simulator
+
+
+def run_jobs(jobs, rate=1.0, servers=1):
+    """Run (arrival, work) jobs through a PS queue; return completion times."""
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=rate, servers=servers)
+    completions = {}
+
+    def job(sim, idx, arrival, work):
+        yield sim.timeout(arrival)
+        yield ps.serve(work)
+        completions[idx] = sim.now
+
+    for idx, (arrival, work) in enumerate(jobs):
+        sim.spawn(job(sim, idx, arrival, work))
+    sim.run()
+    return completions, ps
+
+
+def test_single_job_exact_service_time():
+    completions, _ = run_jobs([(0.0, 5.0)], rate=1.0)
+    assert completions[0] == pytest.approx(5.0)
+
+
+def test_rate_scales_service_time():
+    completions, _ = run_jobs([(0.0, 5.0)], rate=2.0)
+    assert completions[0] == pytest.approx(2.5)
+
+
+def test_two_equal_jobs_share_equally():
+    # Two unit jobs arriving together on one server each run at 1/2 speed.
+    completions, _ = run_jobs([(0.0, 1.0), (0.0, 1.0)])
+    assert completions[0] == pytest.approx(2.0)
+    assert completions[1] == pytest.approx(2.0)
+
+
+def test_two_jobs_two_servers_no_slowdown():
+    completions, _ = run_jobs([(0.0, 1.0), (0.0, 1.0)], servers=2)
+    assert completions[0] == pytest.approx(1.0)
+    assert completions[1] == pytest.approx(1.0)
+
+
+def test_classic_ps_overtaking_arithmetic():
+    """Job A (work 2) alone for 1s, then B (work 0.5) joins.
+
+    After B arrives both run at 1/2: B finishes at t=2 (0.5 work in 1s).
+    A then has 0.5 left alone: finishes at t=2.5.
+    """
+    completions, _ = run_jobs([(0.0, 2.0), (1.0, 0.5)])
+    assert completions[1] == pytest.approx(2.0)
+    assert completions[0] == pytest.approx(2.5)
+
+
+def test_short_job_finishes_before_long_job():
+    completions, _ = run_jobs([(0.0, 10.0), (0.0, 1.0)])
+    assert completions[1] < completions[0]
+    # Short job: runs at 1/2 until done => finishes at 2.0
+    assert completions[1] == pytest.approx(2.0)
+    # Long job: 1 unit done by t=2 (half speed), 9 remaining alone => 11.0
+    assert completions[0] == pytest.approx(11.0)
+
+
+def test_three_servers_partial_parallelism():
+    # 4 equal unit jobs on 3 servers: each runs at 3/4 speed -> done at 4/3.
+    completions, _ = run_jobs([(0.0, 1.0)] * 4, servers=3)
+    for idx in range(4):
+        assert completions[idx] == pytest.approx(4.0 / 3.0)
+
+
+def test_zero_work_completes_immediately():
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=1.0)
+    done = []
+
+    def job(sim):
+        yield ps.serve(0.0)
+        done.append(sim.now)
+
+    sim.spawn(job(sim))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        ProcessorSharing(sim, rate=0.0)
+    with pytest.raises(SimulationError):
+        ProcessorSharing(sim, rate=1.0, servers=0)
+
+
+def test_utilization_integral():
+    # One job of 5s then idle until t=10: busy fraction = 0.5.
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=1.0)
+
+    def job(sim):
+        yield ps.serve(5.0)
+
+    sim.spawn(job(sim))
+    sim.run(until=10.0)
+    snap = ps.snapshot()
+    assert snap.busy_integral == pytest.approx(5.0)
+    assert snap.completed == 1
+
+
+def test_multiserver_utilization_counts_busy_servers():
+    # One job on a 2-server queue: utilization is 1/2 while it runs.
+    sim = Simulator()
+    ps = ProcessorSharing(sim, rate=1.0, servers=2)
+
+    def job(sim):
+        yield ps.serve(4.0)
+
+    sim.spawn(job(sim))
+    sim.run(until=4.0)
+    assert ps.snapshot().busy_integral == pytest.approx(2.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0),
+            st.floats(min_value=0.01, max_value=20.0),
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    servers=st.integers(min_value=1, max_value=4),
+)
+def test_property_all_jobs_complete_and_work_conserved(jobs, servers):
+    completions, ps = run_jobs(jobs, rate=1.0, servers=servers)
+    assert len(completions) == len(jobs)
+    snap = ps.snapshot()
+    assert snap.completed == len(jobs)
+    assert snap.jobs == 0
+    # Work conservation: busy_integral * servers >= total work (equality
+    # when never more jobs than servers... busy time counts capacity used).
+    total_work = sum(w for _, w in jobs)
+    assert snap.work_completed == pytest.approx(total_work)
+    # A job can never finish faster than its exclusive service time and
+    # never before it arrived.
+    for idx, (arrival, work) in enumerate(jobs):
+        assert completions[idx] >= arrival + work - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    works=st.lists(st.floats(min_value=0.05, max_value=10.0), min_size=2, max_size=15)
+)
+def test_property_simultaneous_jobs_finish_in_work_order(works):
+    """With equal sharing, jobs arriving together complete in size order."""
+    completions, _ = run_jobs([(0.0, w) for w in works])
+    order = sorted(range(len(works)), key=lambda i: completions[i])
+    sizes = [works[i] for i in order]
+    assert sizes == sorted(sizes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    works=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=10),
+)
+def test_property_busy_period_equals_total_work_single_server(works):
+    """Jobs arriving at t=0 on one unit-rate server all end by sum(works)."""
+    completions, _ = run_jobs([(0.0, w) for w in works])
+    assert max(completions.values()) == pytest.approx(sum(works))
