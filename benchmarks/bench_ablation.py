@@ -14,8 +14,6 @@ curve, showing which mechanism produces which published effect:
 
 import dataclasses
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.core.experiments import exp1, exp2, exp4
 from repro.core.params import default_params

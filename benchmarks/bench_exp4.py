@@ -4,7 +4,6 @@ import pytest
 
 from benchmarks.conftest import BENCH_WARMUP, BENCH_WINDOW, emit
 from repro.core.experiments import exp4
-from repro.core.figures import reproduce_figure
 
 FAST = dict(warmup=BENCH_WARMUP, window=BENCH_WINDOW)
 X_BY_SYSTEM = {

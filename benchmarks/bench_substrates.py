@@ -7,8 +7,6 @@ LDAP filter search and the SQL executor.
 """
 
 import numpy as np
-import pytest
-
 from repro.classad import ClassAd, match_pool, parse_expr
 from repro.hawkeye.advertise import synthesize_startd_ad
 from repro.ldap import DIT, Entry, parse_filter

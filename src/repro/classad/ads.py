@@ -14,7 +14,7 @@ import typing as _t
 from repro.classad.ast import Expr, Literal
 from repro.classad.evaluator import Evaluation, evaluate
 from repro.classad.parser import parse_expr
-from repro.classad.values import UNDEFINED, Value, is_scalar, value_repr
+from repro.classad.values import UNDEFINED, Value, is_scalar
 
 __all__ = ["ClassAd"]
 

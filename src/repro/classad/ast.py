@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass
 
 from repro.classad.values import Value, value_repr

@@ -19,7 +19,6 @@ experiment harness programs against.
 from __future__ import annotations
 
 import enum
-import typing as _t
 from dataclasses import dataclass
 
 __all__ = ["Role", "System", "COMPONENT_MAPPING", "component_for", "roles_of"]

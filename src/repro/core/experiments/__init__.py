@@ -7,13 +7,16 @@
 * :mod:`repro.core.experiments.exp3` — information-server scalability
   with information collectors (Figures 13-16);
 * :mod:`repro.core.experiments.exp4` — aggregate-information-server
-  scalability with information servers (Figures 17-20).
+  scalability with information servers (Figures 17-20);
+* :mod:`repro.core.experiments.faults` — the Exp-1/2 scenarios re-run
+  under injected crash/restart faults with client-side retry.
 
-Each module exposes ``SYSTEMS`` (the figure legends), ``X_VALUES``
-(sweep coordinates), ``run_point(system, x, seed, ...)`` and
-``sweep(...)``.
+Each figure module exposes ``SYSTEMS`` (the figure legends),
+``X_VALUES`` (sweep coordinates), ``run_point(system, x, seed, ...)``
+and ``sweep(...)``; the fault module exposes
+``run_fault_point(system, users, seed, schedule=...)``.
 """
 
-from repro.core.experiments import exp1, exp2, exp3, exp4
+from repro.core.experiments import exp1, exp2, exp3, exp4, faults
 
-__all__ = ["exp1", "exp2", "exp3", "exp4"]
+__all__ = ["exp1", "exp2", "exp3", "exp4", "faults"]

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.params import StudyParams
 from repro.core.runner import ScenarioRun
 from repro.core.testbed import assign_users_to_clients
 from repro.hawkeye.agent import Agent

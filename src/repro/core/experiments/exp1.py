@@ -28,14 +28,15 @@ from repro.core.experiments.common import (
     uc_clients,
 )
 from repro.core.params import StudyParams
-from repro.core.runner import PointResult, ScenarioRun, drive, new_run
+from repro.core.runner import PointResult, drive, new_run
 from repro.core.services import (
     make_agent_service,
     make_consumer_servlet_service,
     make_gris_service,
     make_producer_servlet_service,
 )
-from repro.sim.rpc import Service
+from repro.sim.faults import FaultPlan
+from repro.sim.rpc import RetryPolicy, Service
 
 __all__ = ["SYSTEMS", "X_VALUES", "run_point", "sweep"]
 
@@ -62,8 +63,17 @@ def run_point(
     params: StudyParams | None = None,
     warmup: float | None = None,
     window: float | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> PointResult:
-    """Measure one (system, users) coordinate of Figures 5-8."""
+    """Measure one (system, users) coordinate of Figures 5-8.
+
+    ``retry``/``faults`` re-run the same scenario as a fault experiment
+    (see :mod:`repro.core.experiments.faults`): the plan lands on the
+    information server under study — for the R-GMA variants that is the
+    ProducerServlet, and the ConsumerServlets get their own small
+    retry policy for the CS->PS hop.
+    """
     if system not in SYSTEMS:
         raise ValueError(f"unknown exp1 system {system!r}; pick from {SYSTEMS}")
     if system == "rgma-ps-uc" and users > UC_VARIANT_MAX_USERS:
@@ -98,6 +108,8 @@ def run_point(
             request_size=p.gris.request_size,
             warmup=warmup,
             window=window,
+            retry=retry,
+            faults=faults,
         )
 
     if system == "hawkeye-agent":
@@ -116,6 +128,8 @@ def run_point(
             request_size=p.agent.request_size,
             warmup=warmup,
             window=window,
+            retry=retry,
+            faults=faults,
         )
 
     # R-GMA variants ---------------------------------------------------------
@@ -127,11 +141,22 @@ def run_point(
     run.services["ps"] = ps_service
     spawn_publisher(run, servlet, server_host)
     payload_fn = lambda uid: {"sql": "SELECT * FROM cpuLoad"}  # noqa: E731
+    # Faults target the ProducerServlet (the information server under
+    # study); the CS->PS hop rides through them on its own small policy.
+    cs_retry = None
+    if retry is not None or faults is not None:
+        cs_retry = RetryPolicy(
+            max_attempts=2,
+            base_backoff=0.25,
+            max_backoff=2.0,
+            rng=run.rng.stream("cs-retry", system, str(users)),
+        )
 
     if system == "rgma-ps-uc":
         cs_host = run.testbed.uc[0]
         cs_service = make_consumer_servlet_service(
-            run.sim, run.net, cs_host, "uc-cs", ps_service, p.consumer_servlet
+            run.sim, run.net, cs_host, "uc-cs", ps_service, p.consumer_servlet,
+            retry=cs_retry,
         )
         run.services["cs"] = cs_service
         return drive(
@@ -145,6 +170,9 @@ def run_point(
             request_size=p.consumer_servlet.request_size,
             warmup=warmup,
             window=window,
+            retry=retry,
+            faults=faults,
+            fault_services=[ps_service] if faults is not None else None,
         )
 
     # rgma-ps-lucky: one ConsumerServlet per Lucky node, consumers local.
@@ -158,6 +186,7 @@ def run_point(
             f"{name}-cs",
             ps_service,
             p.consumer_servlet,
+            retry=cs_retry,
         )
     clients = lucky_clients(run, users, exclude=("lucky3",))
     services_by_user = [cs_services[c.name.split(".")[0]] for c in clients]
@@ -173,6 +202,9 @@ def run_point(
         services_by_user=services_by_user,
         warmup=warmup,
         window=window,
+        retry=retry,
+        faults=faults,
+        fault_services=[ps_service] if faults is not None else None,
     )
 
 

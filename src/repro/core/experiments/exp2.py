@@ -39,6 +39,8 @@ from repro.mds.providers import replicated_providers
 from repro.rgma.producer import make_default_producers
 from repro.rgma.producer_servlet import ProducerServlet
 from repro.rgma.registry import Registry
+from repro.sim.faults import FaultPlan
+from repro.sim.rpc import RetryPolicy
 
 __all__ = ["SYSTEMS", "X_VALUES", "run_point", "sweep"]
 
@@ -83,8 +85,15 @@ def run_point(
     params: StudyParams | None = None,
     warmup: float | None = None,
     window: float | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> PointResult:
-    """Measure one (system, users) coordinate of Figures 9-12."""
+    """Measure one (system, users) coordinate of Figures 9-12.
+
+    ``retry``/``faults`` re-run the same scenario as a fault experiment;
+    the plan lands on the directory server under study (the default
+    anchor service of each branch).
+    """
     if system not in SYSTEMS:
         raise ValueError(f"unknown exp2 system {system!r}; pick from {SYSTEMS}")
     if system == "rgma-registry-uc" and users > UC_VARIANT_MAX_USERS:
@@ -115,6 +124,8 @@ def run_point(
             request_size=p.giis.request_size,
             warmup=warmup,
             window=window,
+            retry=retry,
+            faults=faults,
         )
 
     if system == "hawkeye-manager":
@@ -151,6 +162,8 @@ def run_point(
             request_size=p.manager.request_size,
             warmup=warmup,
             window=window,
+            retry=retry,
+            faults=faults,
         )
 
     # R-GMA Registry variants --------------------------------------------------
@@ -180,6 +193,8 @@ def run_point(
         request_size=p.registry.request_size,
         warmup=warmup,
         window=window,
+        retry=retry,
+        faults=faults,
     )
 
 

@@ -27,14 +27,12 @@ import math
 import typing as _t
 
 from repro.core.experiments import exp1
-from repro.core.experiments.common import build_gris, uc_clients
-from repro.core.params import StudyParams, default_params
+from repro.core.experiments.common import uc_clients
+from repro.core.params import default_params
 from repro.core.runner import PointResult, drive, new_run
-from repro.core.services import make_giis_aggregate_service, make_gris_service
 from repro.mds.giis import GIIS
 from repro.mds.gris import GRIS
 from repro.mds.providers import replicated_providers
-from repro.sim.events import Event
 from repro.sim.rpc import Request, Response, Service, call
 from repro.core.testbed import LUCKY_NAMES
 

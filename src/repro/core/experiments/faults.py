@@ -1,0 +1,447 @@
+"""Fault experiments — the paper's sweeps re-run under injected failures.
+
+The paper measures how the three systems *saturate*; operational
+reports from the same era (R-GMA deployment notes, MDS production
+experience) say the dominant field problem was services *failing* —
+registry restarts, hung servlets, dropped connections.  This module
+re-runs the Experiment 1/2 scenarios under a
+:class:`~repro.sim.faults.CrashRestartSchedule` with client-side
+:class:`~repro.sim.rpc.RetryPolicy` resilience, and reports goodput,
+retry amplification and time-to-recover alongside the paper's four
+metrics.
+
+Two native scenarios exercise the control planes the figure sweeps
+don't touch:
+
+* ``mds-registration``    — GIIS on lucky0 with five GRIS keeping their
+  soft-state registrations alive over the wire
+  (:func:`repro.mds.resilience.soft_state_registrar`) while users query
+  the directory; a GIIS outage expires leases and forces
+  re-registration on restart;
+* ``hawkeye-advertise``   — Manager on lucky3 with six Agents pushing
+  Startd ads through the ingest service
+  (:func:`repro.hawkeye.resilience.resilient_advertiser`); a collector
+  outage costs dropped ads and pool staleness.
+
+Any system name from :mod:`~repro.core.experiments.exp1` or
+:mod:`~repro.core.experiments.exp2` also works — the fault plan then
+lands on that scenario's information/directory server (for the R-GMA
+variants, the ProducerServlet).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.core.experiments import exp1, exp2
+from repro.core.experiments.common import uc_clients
+from repro.core.params import StudyParams, measurement_window
+from repro.core.runner import PointResult, drive, new_run
+from repro.core.services import (
+    make_giis_directory_service,
+    make_giis_registration_service,
+    make_manager_directory_service,
+    make_manager_ingest_service,
+)
+from repro.core.testbed import LUCKY_NAMES
+from repro.hawkeye.agent import Agent
+from repro.hawkeye.manager import Manager
+from repro.hawkeye.modules import make_default_modules
+from repro.hawkeye.resilience import AdvertiserStats, resilient_advertiser
+from repro.mds.giis import GIIS
+from repro.mds.gris import GRIS
+from repro.mds.providers import replicated_providers
+from repro.mds.resilience import RegistrarStats, soft_state_registrar
+from repro.sim.faults import CrashRestartSchedule, DropInjector, FaultPlan, StallInjector
+from repro.sim.randomness import RngHub
+from repro.sim.resources import Mutex
+from repro.sim.rpc import CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "SCHEDULES",
+    "SYSTEMS",
+    "FaultPointResult",
+    "build_schedule",
+    "default_retry_policy",
+    "format_fault_table",
+    "run_fault_point",
+]
+
+# Native fault scenarios; every exp1/exp2 system name is also accepted.
+SYSTEMS = ("mds-registration", "hawkeye-advertise")
+
+SCHEDULES = ("outage", "flapping")
+
+# Soft-state lease geometry for the registration scenario: renew well
+# inside the ttl, so only an outage longer than ``ttl - interval`` can
+# expire a lease — which the default "outage" schedule (20 % of the
+# window) does, forcing the full re-register path on restart.
+REG_INTERVAL = 2.5
+REG_TTL = 6.0
+
+ADVERTISE_INTERVAL = 10.0
+
+
+def build_schedule(kind: str, warmup: float, window: float) -> CrashRestartSchedule:
+    """The two canonical fault shapes, scaled to the measurement window.
+
+    * ``outage``   — one crash a quarter into the window, down for 20 %
+      of it (a service restart mid-measurement);
+    * ``flapping`` — three short outages a quarter-window apart (a
+      service caught in a crash loop).
+    """
+    if kind == "outage":
+        return CrashRestartSchedule.single(warmup + 0.25 * window, 0.2 * window)
+    if kind == "flapping":
+        return CrashRestartSchedule.periodic(
+            warmup + 0.15 * window, 0.06 * window, 0.25 * window, 3
+        )
+    raise ValueError(f"unknown fault schedule {kind!r}; pick from {SCHEDULES}")
+
+
+def default_retry_policy(
+    rng: _t.Any, *, breaker: bool = True, max_attempts: int = 4
+) -> RetryPolicy:
+    """The client policy the fault experiments use.
+
+    Capped exponential backoff with ±25 % jitter; the breaker trips
+    after 5 consecutive failures and probes again 2 s later, which caps
+    retry amplification during an outage at roughly one wire probe per
+    breaker reset instead of ``max_attempts`` per logical call.
+    """
+    cb = CircuitBreaker(failure_threshold=5, reset_timeout=2.0) if breaker else None
+    return RetryPolicy(
+        max_attempts=max_attempts,
+        base_backoff=0.5,
+        multiplier=2.0,
+        max_backoff=8.0,
+        jitter=0.25,
+        breaker=cb,
+        rng=rng,
+    )
+
+
+@dataclass(frozen=True)
+class FaultPointResult:
+    """A baseline/faulted pair for one (system, users, schedule) point."""
+
+    system: str
+    x: float
+    schedule: str
+    baseline: PointResult  # same scenario, retry policy on, no faults
+    faulted: PointResult
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def no_fault_goodput(self) -> float:
+        assert self.baseline.resilience is not None
+        return self.baseline.resilience.goodput
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Post-restart success rate as a fraction of no-fault goodput."""
+        assert self.faulted.resilience is not None
+        base = self.no_fault_goodput
+        return self.faulted.resilience.post_outage_rate / base if base else 0.0
+
+    @property
+    def retry_amplification(self) -> float:
+        assert self.faulted.resilience is not None
+        return self.faulted.resilience.retry_amplification
+
+    @property
+    def recovery_time(self) -> float | None:
+        assert self.faulted.resilience is not None
+        return self.faulted.resilience.recovery_time
+
+
+def run_fault_point(
+    system: str,
+    users: int,
+    seed: int = 1,
+    *,
+    schedule: str = "outage",
+    drop: float = 0.0,
+    stall: float = 0.0,
+    stall_seconds: float = 1.0,
+    breaker: bool = True,
+    params: StudyParams | None = None,
+    warmup: float | None = None,
+    window: float | None = None,
+) -> FaultPointResult:
+    """Run one scenario twice — clean and faulted — and pair the results.
+
+    Both runs carry the same retry policy shape (fresh instances, seeded
+    from independent :class:`~repro.sim.randomness.RngHub` streams), so
+    the baseline's goodput is the recovery yardstick.  ``drop``/``stall``
+    layer transient connection resets and thread-holding stalls on top
+    of the crash/restart ``schedule``.
+    """
+    default_warmup, default_window = measurement_window()
+    warmup = default_warmup if warmup is None else warmup
+    window = default_window if window is None else window
+    hub = RngHub(seed)
+    key = (system, str(users), schedule)
+
+    baseline, _ = _run_one(
+        system,
+        users,
+        seed,
+        retry=default_retry_policy(hub.stream("retry", *key, "baseline"), breaker=breaker),
+        faults=None,
+        params=params,
+        warmup=warmup,
+        window=window,
+    )
+    plan = FaultPlan(
+        schedule=build_schedule(schedule, warmup, window),
+        drop=DropInjector(drop, hub.stream("drop", *key)) if drop > 0 else None,
+        stall=(
+            StallInjector(stall, stall_seconds, hub.stream("stall", *key))
+            if stall > 0
+            else None
+        ),
+        reason=f"injected {schedule}",
+    )
+    faulted, extras = _run_one(
+        system,
+        users,
+        seed,
+        retry=default_retry_policy(hub.stream("retry", *key, "faulted"), breaker=breaker),
+        faults=plan,
+        params=params,
+        warmup=warmup,
+        window=window,
+    )
+    return FaultPointResult(
+        system=system,
+        x=users,
+        schedule=schedule,
+        baseline=baseline,
+        faulted=faulted,
+        extras=extras,
+    )
+
+
+def _run_one(
+    system: str,
+    users: int,
+    seed: int,
+    *,
+    retry: RetryPolicy,
+    faults: FaultPlan | None,
+    params: StudyParams | None,
+    warmup: float,
+    window: float,
+) -> tuple[PointResult, dict[str, float]]:
+    common = dict(params=params, warmup=warmup, window=window, retry=retry, faults=faults)
+    if system in exp1.SYSTEMS:
+        return exp1.run_point(system, users, seed, **common), {}
+    if system in exp2.SYSTEMS:
+        return exp2.run_point(system, users, seed, **common), {}
+    if system == "mds-registration":
+        return _registration_point(users, seed, **common)
+    if system == "hawkeye-advertise":
+        return _advertise_point(users, seed, **common)
+    raise ValueError(
+        f"unknown fault system {system!r}; pick from {SYSTEMS}, "
+        f"{exp1.SYSTEMS} or {exp2.SYSTEMS}"
+    )
+
+
+def _registration_point(
+    users: int,
+    seed: int,
+    *,
+    params: StudyParams | None,
+    warmup: float,
+    window: float,
+    retry: RetryPolicy,
+    faults: FaultPlan | None,
+) -> tuple[PointResult, dict[str, float]]:
+    """GIIS directory queries while GRIS keep soft-state leases alive."""
+    run = new_run(seed, params, monitored=("lucky0",))
+    p = run.params
+    giis = GIIS("lucky0", cachettl=float("inf"))
+    server_host = run.testbed.lucky["lucky0"]
+    reg_nodes = ("lucky3", "lucky4", "lucky5", "lucky6", "lucky7")
+    pullers: dict[str, _t.Callable[[float], tuple[list, float]]] = {}
+    for i, node in enumerate(reg_nodes):
+        gris = GRIS(
+            f"{node}.mcs.anl.gov",
+            replicated_providers(10),
+            cachettl=float("inf"),
+            seed=seed * 101 + i,
+        )
+
+        def puller(now: float, gris: GRIS = gris) -> tuple[list, float]:
+            result = gris.search(now=now)
+            return result.entries, result.exec_cost
+
+        pullers[node] = puller
+        giis.register(node, puller, now=0.0, ttl=REG_TTL)
+    giis.query(now=0.0)  # prime the aggregate cache
+
+    dir_service = make_giis_directory_service(run.sim, run.net, server_host, giis, p.giis)
+    reg_service = make_giis_registration_service(
+        run.sim, run.net, server_host, giis, p.giis, pullers
+    )
+    run.services["giis"] = dir_service
+    run.services["giis-reg"] = reg_service
+
+    reg_retry = RetryPolicy(
+        max_attempts=3,
+        base_backoff=0.5,
+        max_backoff=4.0,
+        rng=run.rng.stream("registrar-retry", str(users)),
+    )
+    reg_stats: list[RegistrarStats] = []
+    for node in reg_nodes:
+        st = RegistrarStats(registered=True, last_confirmed=0.0)
+        reg_stats.append(st)
+        run.sim.spawn(
+            soft_state_registrar(
+                run.sim,
+                run.net,
+                run.testbed.lucky[node],
+                reg_service,
+                node,
+                interval=REG_INTERVAL,
+                ttl=REG_TTL,
+                retry=reg_retry,
+                stats=st,
+            ),
+            name=f"registrar:{node}",
+        )
+
+    def lease_sweeper() -> _t.Generator:
+        while True:
+            yield run.sim.timeout(1.0)
+            giis.sweep(run.sim.now)
+
+    run.sim.spawn(lease_sweeper(), name="giis-sweep")
+
+    result = drive(
+        run,
+        system="mds-registration",
+        x=users,
+        service=dir_service,
+        clients=uc_clients(run, users),
+        server_host=server_host,
+        payload_fn=lambda uid: {"filter": "(objectclass=MdsHost)"},
+        request_size=p.giis.request_size,
+        warmup=warmup,
+        window=window,
+        retry=retry,
+        faults=faults,
+        fault_services=[dir_service, reg_service] if faults is not None else None,
+    )
+    extras = {
+        "renewals": float(sum(st.renewals for st in reg_stats)),
+        "re_registrations": float(sum(st.re_registrations for st in reg_stats)),
+        "missed_cycles": float(sum(st.missed_cycles for st in reg_stats)),
+        "registered_at_end": float(sum(st.registered for st in reg_stats)),
+        "registrar_attempts": float(reg_retry.stats.attempts),
+    }
+    return result, extras
+
+
+def _advertise_point(
+    users: int,
+    seed: int,
+    *,
+    params: StudyParams | None,
+    warmup: float,
+    window: float,
+    retry: RetryPolicy,
+    faults: FaultPlan | None,
+) -> tuple[PointResult, dict[str, float]]:
+    """Manager directory queries while Agents advertise over the wire."""
+    run = new_run(seed, params, monitored=("lucky3",))
+    p = run.params
+    manager = Manager("lucky3")
+    server_host = run.testbed.lucky["lucky3"]
+    collector = Mutex(run.sim, name=f"manager:{manager.name}:collector")
+    ingest = make_manager_ingest_service(
+        run.sim, run.net, server_host, manager, p.manager, collector
+    )
+    dir_service = make_manager_directory_service(
+        run.sim, run.net, server_host, manager, p.manager
+    )
+    run.services["manager"] = dir_service
+    run.services["manager-ingest"] = ingest
+
+    adv_retry = RetryPolicy(
+        max_attempts=3,
+        base_backoff=0.5,
+        max_backoff=4.0,
+        rng=run.rng.stream("advertiser-retry", str(users)),
+    )
+    agent_nodes = [n for n in LUCKY_NAMES if n != "lucky3"]
+    adv_stats: list[AdvertiserStats] = []
+    for i, node in enumerate(agent_nodes):
+        agent = Agent(f"{node}.mcs.anl.gov", make_default_modules(), seed=seed * 77 + i)
+        manager.register_agent(agent)
+        ad, _ = agent.make_startd_ad(now=0.0)
+        manager.receive_ad(ad, now=0.0)
+        st = AdvertiserStats(last_delivered=0.0)
+        adv_stats.append(st)
+        run.sim.spawn(
+            resilient_advertiser(
+                run.sim,
+                run.net,
+                run.testbed.lucky[node],
+                ingest,
+                agent,
+                interval=ADVERTISE_INTERVAL,
+                retry=adv_retry,
+                stats=st,
+            ),
+            name=f"resilient-adv:{node}",
+        )
+
+    result = drive(
+        run,
+        system="hawkeye-advertise",
+        x=users,
+        service=dir_service,
+        clients=uc_clients(run, users),
+        server_host=server_host,
+        payload_fn=lambda uid: {"machine": "lucky4.mcs.anl.gov"},
+        request_size=p.manager.request_size,
+        warmup=warmup,
+        window=window,
+        retry=retry,
+        faults=faults,
+        fault_services=[dir_service, ingest] if faults is not None else None,
+    )
+    end = warmup + window
+    extras = {
+        "ads_delivered": float(sum(st.delivered for st in adv_stats)),
+        "ads_missed": float(sum(st.missed for st in adv_stats)),
+        "max_staleness": max(max(st.max_gap, st.staleness(end)) for st in adv_stats),
+        "advertiser_attempts": float(adv_retry.stats.attempts),
+    }
+    return result, extras
+
+
+def format_fault_table(rows: _t.Sequence[FaultPointResult]) -> str:
+    """Fixed-width table of the resilience metrics for benchmark output."""
+    header = (
+        f"{'system':<20} {'users':>5} {'schedule':>8} "
+        f"{'goodput0':>9} {'goodput':>9} {'recov%':>7} "
+        f"{'amp':>6} {'t_recover':>9} {'downtime':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        res = r.faulted.resilience
+        assert res is not None
+        t_rec = "never" if res.recovery_time is None else f"{res.recovery_time:.1f}"
+        lines.append(
+            f"{r.system:<20} {r.x:>5.0f} {r.schedule:>8} "
+            f"{r.no_fault_goodput:>9.2f} {res.goodput:>9.2f} "
+            f"{100 * r.recovered_fraction:>6.1f}% "
+            f"{r.retry_amplification:>6.2f} {t_rec:>9} {res.downtime:>8.1f}"
+        )
+    return "\n".join(lines)

@@ -18,10 +18,19 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
+from repro.sim.faults import Outage
 from repro.sim.host import Host
 from repro.sim.monitor import Ganglia
+from repro.sim.rpc import RetryStats
 
-__all__ = ["RequestRecord", "RequestLog", "MetricsSummary", "summarize"]
+__all__ = [
+    "RequestRecord",
+    "RequestLog",
+    "MetricsSummary",
+    "summarize",
+    "ResilienceSummary",
+    "resilience_summary",
+]
 
 OUTCOME_OK = "ok"
 OUTCOME_REFUSED = "refused"
@@ -73,6 +82,128 @@ class MetricsSummary:
     timeouts: int
     errors: int
     window: float
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Fault-experiment metrics reported alongside the paper's four.
+
+    * **goodput** — successful queries per second over the whole
+      measurement window, outage included (unlike ``throughput``, which
+      the paper computes over a healthy window);
+    * **retry amplification** — wire attempts per logical request; the
+      retry storm a fault provokes, and what the circuit breaker caps;
+    * **recovery_time** — seconds after the last injected restart until
+      the per-second success rate is back to ``recovery_fraction`` of
+      its pre-fault level (None when it never recovers, 0.0 when the
+      dip never reached the threshold).
+    """
+
+    goodput: float
+    pre_outage_rate: float  # successful q/s before the first outage
+    during_outage_rate: float  # successful q/s inside outage windows
+    post_outage_rate: float  # successful q/s after the last restart
+    recovery_time: float | None
+    downtime: float  # injected outage seconds inside the window
+    logical_calls: int
+    attempts: int
+    retries: int
+    exhausted: int
+    breaker_rejections: int
+    backoff_time: float
+
+    @property
+    def retry_amplification(self) -> float:
+        return self.attempts / self.logical_calls if self.logical_calls else 0.0
+
+
+def _bucket_rates(
+    records: _t.Sequence[RequestRecord], start: float, end: float, bucket: float
+) -> list[float]:
+    """Successful completions per second, bucketed over [start, end)."""
+    n = max(1, int((end - start) / bucket + 0.5))
+    counts = [0] * n
+    for r in records:
+        if r.outcome == OUTCOME_OK and start <= r.finished < end:
+            counts[min(n - 1, int((r.finished - start) / bucket))] += 1
+    return [c / bucket for c in counts]
+
+
+def resilience_summary(
+    log: RequestLog,
+    *,
+    window_start: float,
+    window_end: float,
+    outages: _t.Sequence[Outage] = (),
+    retry_stats: RetryStats | None = None,
+    bucket: float = 1.0,
+    recovery_fraction: float = 0.8,
+    smoothing: int = 5,
+) -> ResilienceSummary:
+    """Reduce one faulted run to goodput / amplification / recovery.
+
+    The rates are computed from 1 s success buckets; recovery is the
+    first time after the last restart when the ``smoothing``-bucket
+    rolling mean regains ``recovery_fraction`` of the pre-outage rate.
+    """
+    window = window_end - window_start
+    if window <= 0:
+        raise ValueError(f"empty measurement window [{window_start}, {window_end}]")
+    records = log.in_window(window_start, window_end)
+    successes = [r for r in records if r.outcome == OUTCOME_OK]
+    goodput = len(successes) / window
+
+    first_down = min((o.start for o in outages), default=window_end)
+    last_up = max((o.end for o in outages), default=window_start)
+    downtime = sum(
+        max(0.0, min(o.end, window_end) - max(o.start, window_start)) for o in outages
+    )
+
+    def rate(span_start: float, span_end: float) -> float:
+        span = span_end - span_start
+        if span <= 0:
+            return 0.0
+        return sum(1 for r in successes if span_start <= r.finished < span_end) / span
+
+    pre = rate(window_start, min(first_down, window_end))
+    during = (
+        sum(1 for r in successes if any(o.start <= r.finished < o.end for o in outages))
+        / downtime
+        if downtime > 0
+        else 0.0
+    )
+    post = rate(max(last_up, window_start), window_end)
+
+    recovery: float | None
+    if not outages:
+        recovery = 0.0
+    else:
+        recovery = None
+        rates = _bucket_rates(successes, window_start, window_end, bucket)
+        threshold = recovery_fraction * pre
+        from_bucket = max(0, int((last_up - window_start) / bucket))
+        for i in range(from_bucket, len(rates)):
+            lo = max(0, i - smoothing + 1)
+            rolling = sum(rates[lo : i + 1]) / (i + 1 - lo)
+            if rolling >= threshold:
+                recovery = max(0.0, (window_start + (i + 1) * bucket) - last_up)
+                break
+
+    rs = retry_stats or RetryStats()
+    return ResilienceSummary(
+        goodput=goodput,
+        pre_outage_rate=pre,
+        during_outage_rate=during,
+        post_outage_rate=post,
+        recovery_time=recovery,
+        downtime=downtime,
+        logical_calls=rs.calls,
+        attempts=rs.attempts,
+        retries=rs.retries,
+        exhausted=rs.exhausted,
+        breaker_rejections=rs.breaker_rejections,
+        backoff_time=rs.backoff_time,
+    )
 
 
 def summarize(

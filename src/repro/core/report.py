@@ -14,7 +14,6 @@ much as one full figure regeneration per experiment set.
 from __future__ import annotations
 
 import argparse
-import sys
 import typing as _t
 from dataclasses import dataclass
 

@@ -8,7 +8,6 @@ paper without a plotting stack.
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass, field
 
 __all__ = ["Series", "Figure"]

@@ -12,15 +12,22 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.core.metrics import MetricsSummary, RequestLog, summarize
+from repro.core.metrics import (
+    MetricsSummary,
+    RequestLog,
+    ResilienceSummary,
+    resilience_summary,
+    summarize,
+)
 from repro.core.params import StudyParams, WorkloadParams, default_params, measurement_window
 from repro.core.testbed import Testbed, build_testbed
 from repro.core.workload import spawn_users
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultPlan, install_faults
 from repro.sim.host import Host
 from repro.sim.network import Network
 from repro.sim.randomness import RngHub
-from repro.sim.rpc import Service
+from repro.sim.rpc import RetryPolicy, Service
 
 __all__ = ["ScenarioRun", "PointResult", "new_run", "drive"]
 
@@ -51,6 +58,8 @@ class PointResult:
     crashed: bool = False
     crash_reason: str | None = None
     sim_events: int = 0
+    # Populated only for runs driven with a RetryPolicy or FaultPlan.
+    resilience: ResilienceSummary | None = None
 
     # Figure-series accessors (Figures 5-20 plot these four metrics).
     @property
@@ -97,12 +106,23 @@ def drive(
     workload: WorkloadParams | None = None,
     warmup: float | None = None,
     window: float | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    fault_services: _t.Sequence[Service] | None = None,
 ) -> PointResult:
-    """Run the workload and reduce the window to one figure point."""
+    """Run the workload and reduce the window to one figure point.
+
+    ``retry`` gives every user process client-side resilience;
+    ``faults`` installs a :class:`FaultPlan` on ``fault_services``
+    (defaulting to the anchor ``service``) before the run.  When either
+    is present the result carries a :class:`ResilienceSummary`.
+    """
     default_warmup, default_window = measurement_window()
     warmup = default_warmup if warmup is None else warmup
     window = default_window if window is None else window
     wp = workload or run.params.workload
+    if faults is not None:
+        install_faults(run.sim, list(fault_services or [service]), faults)
     spawn_users(
         run.sim,
         run.net,
@@ -114,6 +134,7 @@ def drive(
         payload_fn=payload_fn,
         request_size=request_size,
         services_by_user=services_by_user,
+        retry=retry,
     )
     run.sim.run(until=warmup + window)
     summary = summarize(run.log, run.testbed.monitor, server_host, warmup, warmup + window)
@@ -121,6 +142,15 @@ def drive(
     reason = service.crash_reason or next(
         (s.crash_reason for s in run.services.values() if s.crash_reason), None
     )
+    resilience = None
+    if retry is not None or faults is not None:
+        resilience = resilience_summary(
+            run.log,
+            window_start=warmup,
+            window_end=warmup + window,
+            outages=faults.outages_within(warmup, warmup + window) if faults else (),
+            retry_stats=retry.stats if retry is not None else None,
+        )
     return PointResult(
         system=system,
         x=x,
@@ -128,4 +158,5 @@ def drive(
         crashed=crashed,
         crash_reason=reason,
         sim_events=run.sim.events_processed,
+        resilience=resilience,
     )

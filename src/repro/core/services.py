@@ -29,7 +29,7 @@ from repro.core.params import (
     ProducerServletParams,
     RegistryParams,
 )
-from repro.errors import ServiceCrashError
+from repro.errors import RegistryError, ServiceCrashError
 from repro.hawkeye.agent import Agent
 from repro.hawkeye.manager import Manager
 from repro.mds.giis import GIIS
@@ -41,12 +41,13 @@ from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.network import Network
 from repro.sim.resources import Mutex
-from repro.sim.rpc import Request, Response, Service, call
+from repro.sim.rpc import Request, Response, RetryPolicy, Service, call
 
 __all__ = [
     "make_gris_service",
     "make_giis_directory_service",
     "make_giis_aggregate_service",
+    "make_giis_registration_service",
     "make_agent_service",
     "make_producer_servlet_service",
     "make_consumer_servlet_service",
@@ -205,6 +206,53 @@ def make_giis_aggregate_service(
         max_threads=p.max_threads,
         backlog=p.backlog,
         conn_overhead=p.conn_overhead,
+    )
+
+
+def make_giis_registration_service(
+    sim: Simulator,
+    net: Network,
+    host: Host,
+    giis: GIIS,
+    p: GiisParams,
+    pullers: _t.Mapping[str, _t.Callable[[float], tuple[list, float]]],
+) -> Service:
+    """The GIIS's soft-state registration endpoint.
+
+    Accepts ``{"op": "register"|"renew", "name": ..., "ttl": ...}``
+    payloads from downstream GRIS (see
+    :func:`repro.mds.resilience.soft_state_registrar`).  A renew of an
+    expired/unknown name answers ``{"renewed": False}`` so the client
+    knows to fall back to a full re-register — the recovery path after
+    an injected GIIS outage outlives the registration leases.
+
+    ``pullers`` maps registrant names to their pull callbacks (the wire
+    protocol carries names; the in-process GIIS needs the callable).
+    """
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query)
+        payload = request.payload if isinstance(request.payload, dict) else {}
+        op = payload.get("op", "renew")
+        name = payload.get("name", "")
+        ttl = float(payload.get("ttl", 600.0))
+        if op == "register":
+            puller = pullers.get(name)
+            if puller is None:
+                raise RegistryError(f"no puller known for registrant {name!r}")
+            giis.register(name, puller, now=sim.now, ttl=ttl)
+            return Response(value={"registered": True}, size=128)
+        renewed = giis.renew(name, now=sim.now)
+        return Response(value={"renewed": renewed}, size=96)
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"giis:{giis.name}:reg",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
     )
 
 
@@ -404,13 +452,16 @@ def make_consumer_servlet_service(
     name: str,
     ps_service: Service,
     p: ConsumerServletParams,
+    retry: RetryPolicy | None = None,
 ) -> Service:
     """An R-GMA ConsumerServlet forwarding mediated queries to a
     ProducerServlet service.
 
     Registry consultation is mediated once per distinct query and then
     cached (R-GMA's mediation plans), so the steady-state path is
-    CS -> PS -> CS.
+    CS -> PS -> CS.  ``retry`` makes the CS->PS hop resilient: during a
+    ProducerServlet outage the servlet retries with backoff instead of
+    bubbling the first refusal straight to its consumer.
     """
     mediation_mutex = Mutex(sim, name=f"cs:{name}:mediation")
 
@@ -418,7 +469,7 @@ def make_consumer_servlet_service(
         yield host.compute(p.cpu_per_query)
         yield from _held(sim, host, mediation_mutex, p.mediation_hold, cpu_fraction=1.0)
         value = yield from call(
-            sim, net, host, ps_service, request.payload, size=p.request_size
+            sim, net, host, ps_service, request.payload, size=p.request_size, retry=retry
         )
         return Response(value=value, size=1024)
 

@@ -34,7 +34,7 @@ from repro.errors import RequestTimeoutError, ServiceUnavailableError
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.network import Network
-from repro.sim.rpc import Service, call
+from repro.sim.rpc import RetryPolicy, Service, call
 
 __all__ = ["spawn_users", "user_process", "THINK_PATTERNS", "make_think_sampler"]
 
@@ -111,8 +111,15 @@ def user_process(
     log: RequestLog,
     wp: WorkloadParams,
     rng: np.random.Generator,
+    retry: RetryPolicy | None = None,
 ) -> _t.Generator:
-    """One user's infinite query loop (the run(until=...) ends it)."""
+    """One user's infinite query loop (the run(until=...) ends it).
+
+    With ``retry``, each logical query runs through the policy's
+    backoff/breaker loop; only the final outcome is logged, so refused
+    records then mean "gave up after retries" (or a fast-fail from an
+    open circuit breaker).
+    """
     think = make_think_sampler(wp, rng)
     # Desynchronize start times so users don't arrive in lockstep.
     yield sim.timeout(float(rng.uniform(0.0, wp.start_spread)))
@@ -127,6 +134,7 @@ def user_process(
                 payload_fn(user_id),
                 size=request_size,
                 timeout=wp.request_timeout,
+                retry=retry,
             )
             log.add(user_id, started, sim.now, OUTCOME_OK)
         except ServiceUnavailableError:
@@ -155,12 +163,14 @@ def spawn_users(
     payload_fn: _t.Callable[[int], _t.Any] = lambda uid: {"query": "all"},
     request_size: int = 512,
     services_by_user: _t.Sequence[Service] | None = None,
+    retry: RetryPolicy | None = None,
 ) -> int:
     """Start one user process per entry of ``clients``.
 
     ``services_by_user`` optionally routes each user to its own service
     (the R-GMA lucky variant runs one ConsumerServlet per node).
-    Returns the number of users started.
+    ``retry`` is shared by every user, so its stats accumulate the
+    run-level retry amplification.  Returns the number of users started.
     """
     for user_id, client in enumerate(clients):
         target = services_by_user[user_id] if services_by_user is not None else service
@@ -176,6 +186,7 @@ def spawn_users(
                 log,
                 wp,
                 rng,
+                retry=retry,
             ),
             name=f"user{user_id}",
         )

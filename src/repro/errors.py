@@ -37,6 +37,14 @@ class RequestTimeoutError(SimulationError):
     """A simulated RPC did not complete within the client's deadline."""
 
 
+class CircuitOpenError(ServiceUnavailableError):
+    """A client-side circuit breaker rejected the call without trying.
+
+    Subclasses :class:`ServiceUnavailableError` so existing workload
+    loops treat fast-failed calls like refused connections.
+    """
+
+
 class ServiceCrashError(SimulationError):
     """A simulated service exceeded a hard resource limit and crashed.
 

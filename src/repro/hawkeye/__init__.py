@@ -16,6 +16,7 @@ from repro.hawkeye.modules import (
     make_default_modules,
     replicated_modules,
 )
+from repro.hawkeye.resilience import AdvertiserStats, resilient_advertiser
 from repro.hawkeye.triggers import Trigger, TriggerEngine, TriggerFiring
 
 __all__ = [
@@ -34,4 +35,6 @@ __all__ = [
     "advertise",
     "synthesize_startd_ad",
     "AdvertiserFleet",
+    "AdvertiserStats",
+    "resilient_advertiser",
 ]

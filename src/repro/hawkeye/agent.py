@@ -18,7 +18,7 @@ to an Agent was 98, adding another Module caused the Startd to crash"
 from __future__ import annotations
 
 import typing as _t
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

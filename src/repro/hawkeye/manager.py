@@ -12,7 +12,6 @@ directory performance better than the GIIS's LDAP backend (§3.4).
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass
 
 from repro.classad import AdCollector, ClassAd, QueryOutcome

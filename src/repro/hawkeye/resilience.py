@@ -1,0 +1,78 @@
+"""Resilient Hawkeye Agent→Manager advertisement over simulated RPC.
+
+The seed's advertiser (``repro.core.experiments.common``) injects ads
+into the Manager by direct callback; a Manager outage is invisible to
+it.  :func:`resilient_advertiser` is the honest version: each 30 s
+cycle pushes the Startd ad through the Manager's ingest *service* with
+a :class:`~repro.sim.rpc.RetryPolicy`, so a collector restart shows up
+as missed ads, stale pool state, and a measurable catch-up burst.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.errors import RequestTimeoutError, ServiceUnavailableError
+from repro.hawkeye.agent import Agent
+from repro.sim.rpc import RetryPolicy, Service, call
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.host import Host
+    from repro.sim.network import Network
+
+__all__ = ["AdvertiserStats", "resilient_advertiser"]
+
+
+@dataclass
+class AdvertiserStats:
+    """Delivery accounting for one advertising Agent."""
+
+    delivered: int = 0
+    missed: int = 0  # cycles lost even after the policy's retries
+    last_delivered: float = -1.0  # sim time of the last acked ad
+    max_gap: float = 0.0  # widest interval the Manager went without an ad
+
+    def staleness(self, now: float) -> float:
+        """How old the Manager's view of this Agent is at ``now``."""
+        return now - self.last_delivered if self.last_delivered >= 0 else now
+
+
+def resilient_advertiser(
+    sim: "Simulator",
+    net: "Network",
+    agent_host: "Host",
+    ingest_service: Service,
+    agent: Agent,
+    *,
+    interval: float = 30.0,
+    ad_size: int = 15_000,
+    retry: RetryPolicy | None = None,
+    stats: AdvertiserStats | None = None,
+) -> _t.Generator:
+    """One Agent pushing Startd ads every ``interval``; run with ``sim.spawn``.
+
+    A cycle that fails after all retries is *dropped*, not queued — like
+    ``hawkeye_advertise``, the next cycle sends a fresher ad instead, so
+    an outage costs staleness rather than a backlog flood on restart.
+    """
+    st = stats if stats is not None else AdvertiserStats()
+    while True:
+        yield sim.timeout(interval)
+        ad, _answer = agent.make_startd_ad(now=sim.now)
+        try:
+            yield from call(
+                sim,
+                net,
+                agent_host,
+                ingest_service,
+                {"ad": ad},
+                size=ad_size,
+                retry=retry,
+            )
+            st.delivered += 1
+            st.max_gap = max(st.max_gap, st.staleness(sim.now))
+            st.last_delivered = sim.now
+        except (ServiceUnavailableError, RequestTimeoutError):
+            st.missed += 1

@@ -16,8 +16,11 @@ from repro.mds.providers import (
     replicated_providers,
 )
 from repro.mds.registration import Registration, RegistrationTable
+from repro.mds.resilience import RegistrarStats, soft_state_registrar
 
 __all__ = [
+    "RegistrarStats",
+    "soft_state_registrar",
     "InformationProvider",
     "make_default_providers",
     "replicated_providers",

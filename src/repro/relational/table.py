@@ -11,7 +11,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.errors import SchemaError
-from repro.relational.types import Column, ColumnType, SqlValue, coerce
+from repro.relational.types import Column, SqlValue, coerce
 
 __all__ = ["Table"]
 

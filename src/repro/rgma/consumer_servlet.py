@@ -17,7 +17,7 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from repro.errors import RegistryError, SqlError
-from repro.relational import ResultSet, SelectStmt, parse_sql
+from repro.relational import SelectStmt, parse_sql
 from repro.rgma.producer_servlet import ProducerServlet
 from repro.rgma.registry import Registry
 

@@ -10,7 +10,6 @@ producers.
 
 from __future__ import annotations
 
-import typing as _t
 from dataclasses import dataclass
 
 from repro.errors import RegistryError

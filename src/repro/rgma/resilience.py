@@ -1,0 +1,119 @@
+"""Resilient R-GMA client paths: registry lookups and mediated queries.
+
+"R-GMA: First results after deployment" reports that registry and
+servlet failures dominated early operational experience — consumers saw
+their mediation plans evaporate whenever the Registry bounced.  These
+helpers put the two client-side hops of the R-GMA pull path behind
+:class:`~repro.sim.rpc.RetryPolicy` instances:
+
+* :func:`resilient_lookup` — consult the Registry for a table's
+  producers, retrying through restarts;
+* :func:`mediated_query` — the full consumer path: look up (with its
+  own policy), then query the ProducerServlet (with another), falling
+  back to the cached mediation plan when the Registry is unreachable —
+  R-GMA consumers kept answering from stale plans during registry
+  outages.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.errors import RequestTimeoutError, ServiceUnavailableError
+from repro.sim.rpc import RetryPolicy, Service, call
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.host import Host
+    from repro.sim.network import Network
+
+__all__ = ["MediatorStats", "resilient_lookup", "mediated_query"]
+
+
+@dataclass
+class MediatorStats:
+    """Client-side accounting for one consumer's mediation."""
+
+    lookups: int = 0  # fresh Registry consultations that succeeded
+    stale_plans_used: int = 0  # Registry unreachable, cached plan reused
+    lookup_failures: int = 0  # no fresh plan *and* no cached one
+    queries: int = 0  # ProducerServlet queries attempted
+    query_failures: int = 0  # ... that failed even after retries
+    plan_cache: dict[str, _t.Any] = field(default_factory=dict)
+
+
+def resilient_lookup(
+    sim: "Simulator",
+    net: "Network",
+    client_host: "Host",
+    registry_service: Service,
+    table: str,
+    *,
+    retry: RetryPolicy | None = None,
+    request_size: int = 650,
+) -> _t.Generator:
+    """One Registry lookup through a retry policy; use with ``yield from``.
+
+    Returns the registry service's answer (``{"producers": n}``).
+    Raises like :func:`repro.sim.rpc.call` when retries are exhausted.
+    """
+    answer = yield from call(
+        sim,
+        net,
+        client_host,
+        registry_service,
+        {"table": table},
+        size=request_size,
+        retry=retry,
+    )
+    return answer
+
+
+def mediated_query(
+    sim: "Simulator",
+    net: "Network",
+    client_host: "Host",
+    registry_service: Service,
+    ps_service: Service,
+    sql: str,
+    table: str,
+    *,
+    lookup_retry: RetryPolicy | None = None,
+    query_retry: RetryPolicy | None = None,
+    stats: MediatorStats | None = None,
+    request_size: int = 700,
+) -> _t.Generator:
+    """The consumer pull path with per-hop resilience; ``yield from`` it.
+
+    Registry down?  Reuse the cached mediation plan for ``table`` if one
+    exists (counted in ``stale_plans_used``); give up only when there is
+    no plan at all.  Returns the ProducerServlet's answer.
+    """
+    st = stats if stats is not None else MediatorStats()
+    try:
+        plan = yield from resilient_lookup(
+            sim, net, client_host, registry_service, table, retry=lookup_retry
+        )
+        st.lookups += 1
+        st.plan_cache[table] = plan
+    except (ServiceUnavailableError, RequestTimeoutError):
+        if table not in st.plan_cache:
+            st.lookup_failures += 1
+            raise
+        st.stale_plans_used += 1
+    st.queries += 1
+    try:
+        answer = yield from call(
+            sim,
+            net,
+            client_host,
+            ps_service,
+            {"sql": sql},
+            size=request_size,
+            retry=query_retry,
+        )
+    except (ServiceUnavailableError, RequestTimeoutError):
+        st.query_failures += 1
+        raise
+    return answer

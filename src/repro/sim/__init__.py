@@ -8,12 +8,23 @@ Public surface:
 * :class:`ProcessorSharing` — fluid CPU/NIC model;
 * :class:`Host`, :class:`Network` — the testbed fabric;
 * :class:`Service`, :func:`call` — RPC with thread pools and backlogs;
+* :class:`RetryPolicy`, :class:`CircuitBreaker` — client-side resilience;
+* :class:`CrashRestartSchedule`, :class:`FaultPlan` — fault injection;
 * :class:`Ganglia` — the monitoring pipeline of the paper;
 * :class:`RngHub` — named reproducible random streams.
 """
 
 from repro.sim.engine import Simulator
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.faults import (
+    CrashRestartSchedule,
+    DropInjector,
+    FaultInjector,
+    FaultPlan,
+    Outage,
+    StallInjector,
+    install_faults,
+)
 from repro.sim.host import Host
 from repro.sim.loadavg import LoadAverage
 from repro.sim.monitor import Ganglia, HostSample
@@ -21,7 +32,16 @@ from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.randomness import RngHub, stable_hash
 from repro.sim.resources import Mutex, Resource, Store
-from repro.sim.rpc import ConnectionOverhead, Request, Response, Service, call
+from repro.sim.rpc import (
+    CircuitBreaker,
+    ConnectionOverhead,
+    Request,
+    Response,
+    RetryPolicy,
+    RetryStats,
+    Service,
+    call,
+)
 from repro.sim.sharing import ProcessorSharing, PsSnapshot
 from repro.sim.trace import Tracer, TraceRecord
 
@@ -44,7 +64,17 @@ __all__ = [
     "Request",
     "Response",
     "ConnectionOverhead",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "RetryStats",
     "call",
+    "Outage",
+    "CrashRestartSchedule",
+    "DropInjector",
+    "StallInjector",
+    "FaultInjector",
+    "FaultPlan",
+    "install_faults",
     "Ganglia",
     "HostSample",
     "RngHub",

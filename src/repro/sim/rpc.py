@@ -21,7 +21,10 @@ import typing as _t
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import (
+    CircuitOpenError,
     RequestTimeoutError,
     ServiceCrashError,
     ServiceUnavailableError,
@@ -33,8 +36,18 @@ from repro.sim.network import Network
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+    from repro.sim.faults import FaultInjector
 
-__all__ = ["Request", "Response", "Service", "ConnectionOverhead", "call"]
+__all__ = [
+    "Request",
+    "Response",
+    "Service",
+    "ConnectionOverhead",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "RetryStats",
+    "call",
+]
 
 
 @dataclass
@@ -86,9 +99,138 @@ class ServiceStats:
     refused: int = 0
     completed: int = 0
     errors: int = 0
+    dropped: int = 0  # connections reset by an injected transient fault
     busy_time: float = 0.0
     max_concurrent: int = 0
     refusal_log: list[float] = field(default_factory=list)
+
+
+class CircuitBreaker:
+    """Client-side circuit breaker over a flaky service.
+
+    Classic three-state machine: *closed* passes calls through and
+    counts consecutive failures; after ``failure_threshold`` of them it
+    trips *open* and rejects calls outright (:class:`CircuitOpenError`)
+    for ``reset_timeout`` seconds; then one *half-open* probe is let
+    through — success closes the circuit, failure re-opens it.
+
+    Time is always passed in by the caller (``sim.now``); the breaker
+    itself holds no reference to the simulator, so one instance can be
+    shared by every user process of a run.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, *, failure_threshold: int = 5, reset_timeout: float = 30.0) -> None:
+        if failure_threshold < 1:
+            raise SimulationError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise SimulationError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+        self.rejections = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may proceed at ``now`` (may move open->half-open)."""
+        if self.state == self.OPEN:
+            if now - self.opened_at >= self.reset_timeout:
+                self.state = self.HALF_OPEN
+                return True
+            self.rejections += 1
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or self.consecutive_failures >= self.failure_threshold:
+            if self.state != self.OPEN:
+                self.trips += 1
+            self.state = self.OPEN
+            self.opened_at = now
+
+
+@dataclass
+class RetryStats:
+    """Cumulative accounting for one :class:`RetryPolicy` instance."""
+
+    calls: int = 0  # logical calls issued through the policy
+    attempts: int = 0  # wire attempts (>= calls)
+    retries: int = 0  # attempts beyond the first
+    succeeded: int = 0
+    exhausted: int = 0  # calls that failed after max_attempts
+    breaker_rejections: int = 0  # calls fast-failed by an open breaker
+    backoff_time: float = 0.0  # total seconds slept between attempts
+
+    @property
+    def amplification(self) -> float:
+        """Wire attempts per logical call (1.0 = no retries needed)."""
+        return self.attempts / self.calls if self.calls else 0.0
+
+
+class RetryPolicy:
+    """Pluggable client-side resilience for :func:`call`.
+
+    Retries :class:`ServiceUnavailableError` and
+    :class:`RequestTimeoutError` up to ``max_attempts`` total tries with
+    capped exponential backoff (``base * multiplier**k``, at most
+    ``max_backoff``) and multiplicative jitter drawn from ``rng``.  An
+    optional per-try deadline bounds each wire attempt, and an optional
+    :class:`CircuitBreaker` fast-fails calls while the service looks
+    dead — capping retry amplification during an outage.
+
+    One policy instance is meant to be shared by all the client
+    processes of a scenario; its :class:`RetryStats` then measure the
+    run-level retry amplification the fault experiments report.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 4,
+        base_backoff: float = 0.5,
+        multiplier: float = 2.0,
+        max_backoff: float = 15.0,
+        jitter: float = 0.25,
+        per_try_timeout: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise SimulationError("max_attempts must be >= 1")
+        if base_backoff < 0 or max_backoff < 0:
+            raise SimulationError("backoff times must be non-negative")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError("jitter must be in [0, 1)")
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.multiplier = multiplier
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self.per_try_timeout = per_try_timeout
+        self.breaker = breaker
+        self.rng = rng
+        self.stats = RetryStats()
+
+    def backoff(self, retry_index: int) -> float:
+        """Sleep before retry number ``retry_index`` (1-based)."""
+        if retry_index < 1:
+            raise SimulationError("retry_index is 1-based")
+        raw = min(
+            self.base_backoff * self.multiplier ** (retry_index - 1), self.max_backoff
+        )
+        if self.jitter and self.rng is not None:
+            raw *= 1.0 + float(self.rng.uniform(-self.jitter, self.jitter))
+        return raw
 
 
 HandlerFn = _t.Callable[["Service", Request], _t.Generator]
@@ -134,8 +276,13 @@ class Service:
         self.conn_overhead = conn_overhead
         self.crashed = False
         self.crash_reason: str | None = None
+        self.down = False
+        self.down_reason: str | None = None
+        self.outage_log: list[tuple[float, float]] = []  # (down_at, up_at)
+        self.faults: "FaultInjector | None" = None
         self.stats = ServiceStats()
         self._active = 0
+        self._down_at: float | None = None
         self._slot_waiters: deque[Event] = deque()
 
     # -- inspection ----------------------------------------------------------
@@ -164,6 +311,34 @@ class Service:
         self.crashed = True
         self.crash_reason = reason
 
+    def fail(self, reason: str) -> None:
+        """Take the service down *temporarily* (crash/restart injection).
+
+        New connections are refused while down; requests already
+        admitted keep running, like a daemon wedged behind its accept
+        loop.  :meth:`restore` brings the service back.
+        """
+        if self.down:
+            return
+        self.down = True
+        self.down_reason = reason
+        self._down_at = self.sim.now
+
+    def restore(self) -> None:
+        """Bring a :meth:`fail`-ed service back up (the restart)."""
+        if not self.down:
+            return
+        self.down = False
+        self.down_reason = None
+        if self._down_at is not None:
+            self.outage_log.append((self._down_at, self.sim.now))
+            self._down_at = None
+
+    @property
+    def available(self) -> bool:
+        """Whether a new connection would even be considered."""
+        return not (self.crashed or self.down)
+
     # -- internals ------------------------------------------------------------
     def _acquire_thread(self) -> Event:
         event = Event(self.sim)
@@ -187,6 +362,13 @@ class Service:
         yield self._acquire_thread()
         started = self.sim.now
         try:
+            if self.faults is not None:
+                # Injected stall: the handler thread is held the whole
+                # time, so stalls eat pool capacity like real hung
+                # providers do.
+                stall = self.faults.stall_delay()
+                if stall > 0:
+                    yield self.sim.timeout(stall)
             if self.conn_overhead is not None:
                 # Overhead scales with connections being *serviced*, not
                 # with the accept queue: a queued-but-unaccepted socket
@@ -224,6 +406,7 @@ def call(
     *,
     size: int = 512,
     timeout: float | None = None,
+    retry: RetryPolicy | None = None,
 ) -> _t.Generator:
     """Issue a blocking RPC from a client process; use with ``yield from``.
 
@@ -231,7 +414,61 @@ def call(
     :class:`ServiceUnavailableError` when refused and
     :class:`RequestTimeoutError` when the client deadline passes (the
     server keeps processing the abandoned request).
+
+    With a :class:`RetryPolicy`, refusals and timeouts are retried with
+    capped exponential backoff; ``timeout`` (or the policy's
+    ``per_try_timeout``, which wins) bounds each individual attempt.
+    A policy with an open circuit breaker fast-fails with
+    :class:`CircuitOpenError` without touching the wire.
     """
+    if retry is None:
+        value = yield from _attempt(sim, net, client, service, payload, size, timeout)
+        return value
+
+    per_try = retry.per_try_timeout if retry.per_try_timeout is not None else timeout
+    breaker = retry.breaker
+    stats = retry.stats
+    stats.calls += 1
+    failures = 0
+    while True:
+        if breaker is not None and not breaker.allow(sim.now):
+            stats.breaker_rejections += 1
+            raise CircuitOpenError(
+                f"circuit open for {service.name} "
+                f"(tripped {breaker.trips}x, retry after {breaker.reset_timeout:g}s)"
+            )
+        stats.attempts += 1
+        try:
+            value = yield from _attempt(sim, net, client, service, payload, size, per_try)
+        except (ServiceUnavailableError, RequestTimeoutError) as exc:
+            if breaker is not None:
+                breaker.record_failure(sim.now)
+            failures += 1
+            if failures >= retry.max_attempts:
+                stats.exhausted += 1
+                raise
+            delay = retry.backoff(failures)
+            stats.retries += 1
+            stats.backoff_time += delay
+            if delay > 0:
+                yield sim.timeout(delay)
+            continue
+        if breaker is not None:
+            breaker.record_success(sim.now)
+        stats.succeeded += 1
+        return value
+
+
+def _attempt(
+    sim: "Simulator",
+    net: Network,
+    client: Host,
+    service: Service,
+    payload: _t.Any,
+    size: int,
+    timeout: float | None,
+) -> _t.Generator:
+    """One wire attempt: the pre-retry semantics of :func:`call`."""
     worker = sim.spawn(_lifecycle(sim, net, client, service, payload, size), name=f"rpc:{service.name}")
     if timeout is None:
         value = yield worker
@@ -262,6 +499,13 @@ def _lifecycle(
     if service.crashed:
         service.stats.refused += 1
         raise ServiceUnavailableError(f"service {service.name} crashed: {service.crash_reason}")
+    if service.down:
+        service.stats.refused += 1
+        service.stats.refusal_log.append(sim.now)
+        raise ServiceUnavailableError(f"service {service.name} down: {service.down_reason}")
+    if service.faults is not None and service.faults.drop_request():
+        service.stats.dropped += 1
+        raise ServiceUnavailableError(f"service {service.name} dropped the connection")
     if service.concurrent >= service.max_threads + service.backlog:
         service.stats.refused += 1
         service.stats.refusal_log.append(sim.now)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.sim.rpc import Request, Response, Service
+from repro.sim.rpc import Request, Service
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator

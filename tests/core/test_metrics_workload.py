@@ -9,8 +9,8 @@ from repro.core.metrics import (
     RequestLog,
     summarize,
 )
-from repro.core.params import TestbedParams, WorkloadParams, default_params
-from repro.core.testbed import LUCKY_NAMES, assign_users_to_clients, build_testbed
+from repro.core.params import TestbedParams, WorkloadParams
+from repro.core.testbed import assign_users_to_clients, build_testbed
 from repro.core.workload import spawn_users
 from repro.sim import Host, Network, Response, Service, Simulator
 from repro.sim.monitor import Ganglia

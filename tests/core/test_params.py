@@ -5,7 +5,6 @@ future re-tuning cannot silently break a published ordering.
 """
 
 import dataclasses
-import os
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.params import default_params
 from repro.core.runner import new_run
 from repro.core.services import (
     make_agent_service,

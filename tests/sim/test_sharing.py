@@ -162,11 +162,16 @@ def test_property_all_jobs_complete_and_work_conserved(jobs, servers):
     works=st.lists(st.floats(min_value=0.05, max_value=10.0), min_size=2, max_size=15)
 )
 def test_property_simultaneous_jobs_finish_in_work_order(works):
-    """With equal sharing, jobs arriving together complete in size order."""
+    """With equal sharing, jobs arriving together complete in size order.
+
+    Jobs whose works differ by roundoff may tie in completion time, so
+    only strictly-larger work must never finish strictly earlier.
+    """
     completions, _ = run_jobs([(0.0, w) for w in works])
     order = sorted(range(len(works)), key=lambda i: completions[i])
     sizes = [works[i] for i in order]
-    assert sizes == sorted(sizes)
+    for a, b in zip(sizes, sizes[1:]):
+        assert a <= b + 1e-9
 
 
 @settings(max_examples=30, deadline=None)
