@@ -1,0 +1,49 @@
+"""Benchmarks for the hierarchy scalability sweep (deployment-plane grids).
+
+Each grid point is an N-level aggregate tree compiled from one
+``hierarchy_plan`` — no per-shape wiring.  The table lands in
+``benchmarks/results/scale_<system>.txt``.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.experiments import scale
+
+# One shape per depth keeps the smoke grid under a minute.
+SMOKE_GRID = ((1, 8), (2, 4), (3, 2))
+FAST = dict(warmup=5.0, window=20.0)
+
+
+@pytest.mark.parametrize("system", scale.SYSTEMS)
+def test_scale_grid(benchmark, system):
+    """Time-to-solution of a depth-1/2/3 tree sweep per system."""
+    rows = benchmark.pedantic(
+        lambda: [
+            scale.run_scale_point(system, depth, fanout, seed=1, **FAST)
+            for depth, fanout in SMOKE_GRID
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"scale_{system}", scale.format_scale_table(rows))
+    assert all(not r.result.crashed for r in rows)
+    # Eight info servers behind one aggregate still answer queries.
+    assert all(r.result.throughput > 0 for r in rows)
+
+
+def test_deep_tree_beats_flat_mds(benchmark):
+    """§3.6's fix, quantified: 64 GRIS behind a depth-2 tree vs. one GIIS."""
+    from repro.core.experiments import exp4
+
+    def run_pair():
+        tree = scale.run_scale_point("mds", 2, 8, seed=1, **FAST)
+        flat = exp4.run_point("mds-giis-all", 64, seed=1, **FAST)
+        return tree, flat
+
+    tree, flat = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert not tree.result.crashed
+    # The tree parallelizes per-GRIS work across mid-level nodes.
+    assert tree.result.response_time < flat.response_time
+    benchmark.extra_info["tree_resp_s"] = round(tree.result.response_time, 3)
+    benchmark.extra_info["flat_resp_s"] = round(flat.response_time, 3)

@@ -1,0 +1,47 @@
+"""Shared cost-model primitives for the service adapters.
+
+Every system in the study serializes some back end — slapd's provider
+execution, the ProducerServlet's buffer database, the Manager's
+collector — and the paper's load1 *drop* past saturation falls out of
+how that serialized hold is split between runnable CPU time and blocked
+I/O time (DESIGN.md §2).  The split used to be re-implemented inside
+each ``make_*_service`` factory; this module is the single home for it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim.engine import Simulator
+from repro.sim.host import Host
+from repro.sim.resources import Mutex
+
+__all__ = ["busy_split", "held"]
+
+
+def busy_split(
+    sim: Simulator, host: Host, hold: float, cpu_fraction: float
+) -> _t.Generator:
+    """Spend ``hold`` seconds, ``cpu_fraction`` of it runnable on ``host``.
+
+    The CPU part shows up in the host's run queue (load1, CPU load); the
+    remainder is blocked I/O — the process sleeps, exactly like a slapd
+    worker waiting on disk.
+    """
+    cpu_part = hold * cpu_fraction
+    io_part = hold - cpu_part
+    if cpu_part > 0:
+        yield host.compute(cpu_part)
+    if io_part > 0:
+        yield sim.timeout(io_part)
+
+
+def held(
+    sim: Simulator, host: Host, mutex: Mutex, hold: float, cpu_fraction: float
+) -> _t.Generator:
+    """Hold ``mutex`` for ``hold`` seconds, part CPU, part blocked I/O."""
+    yield mutex.acquire()
+    try:
+        yield from busy_split(sim, host, hold, cpu_fraction)
+    finally:
+        mutex.release()

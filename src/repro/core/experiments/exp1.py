@@ -13,30 +13,23 @@ The five series of the figures:
   this way);
 * ``rgma-ps-lucky``    — same servlet, consumers on the Lucky nodes with a
   ConsumerServlet per node (up to 600 users).
+
+Each scenario is a :func:`repro.core.topology.catalog.exp1_plan`
+compiled onto a fresh run; only the workload (clients, payloads,
+retry policies) lives here.
 """
 
 from __future__ import annotations
 
 import typing as _t
 
-from repro.core.experiments.common import (
-    build_agent,
-    build_gris,
-    build_rgma_producer_side,
-    lucky_clients,
-    spawn_publisher,
-    uc_clients,
-)
+from repro.core.experiments.common import lucky_clients, uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
-from repro.core.services import (
-    make_agent_service,
-    make_consumer_servlet_service,
-    make_gris_service,
-    make_producer_servlet_service,
-)
+from repro.core.topology import compile_plan
+from repro.core.topology.catalog import exp1_plan
 from repro.sim.faults import FaultPlan
-from repro.sim.rpc import RetryPolicy, Service
+from repro.sim.rpc import RetryPolicy
 
 __all__ = ["SYSTEMS", "X_VALUES", "run_point", "sweep"]
 
@@ -69,10 +62,10 @@ def run_point(
     """Measure one (system, users) coordinate of Figures 5-8.
 
     ``retry``/``faults`` re-run the same scenario as a fault experiment
-    (see :mod:`repro.core.experiments.faults`): the plan lands on the
-    information server under study — for the R-GMA variants that is the
-    ProducerServlet, and the ConsumerServlets get their own small
-    retry policy for the CS->PS hop.
+    (see :mod:`repro.core.experiments.faults`): the plan's fault-target
+    node is the information server under study — for the R-GMA variants
+    that is the ProducerServlet, and the ConsumerServlets get their own
+    small retry policy for the CS->PS mediation hop.
     """
     if system not in SYSTEMS:
         raise ValueError(f"unknown exp1 system {system!r}; pick from {SYSTEMS}")
@@ -84,127 +77,57 @@ def run_point(
 
     if system.startswith("mds-gris"):
         monitored: tuple[str, ...] = ("lucky7",)
+        server_node = "lucky7"
+        payload_fn = lambda uid: {"filter": "(objectclass=*)"}  # noqa: E731
     elif system == "hawkeye-agent":
         monitored = ("lucky4",)
+        server_node = "lucky4"
+        payload_fn = lambda uid: {"query": "status"}  # noqa: E731
     else:
         monitored = ("lucky3",)
+        server_node = "lucky3"
+        payload_fn = lambda uid: {"sql": "SELECT * FROM cpuLoad"}  # noqa: E731
     run = new_run(seed, params, monitored=monitored)
     p = run.params
 
-    if system in ("mds-gris-cache", "mds-gris-nocache"):
-        cached = system.endswith("cache") and not system.endswith("nocache")
-        gris = build_gris(run, collectors=10, cached=cached, seed=seed)
-        server_host = run.testbed.lucky["lucky7"]
-        service = make_gris_service(run.sim, run.net, server_host, gris, p.gris)
-        run.services["gris"] = service
-        return drive(
-            run,
-            system=system,
-            x=users,
-            service=service,
-            clients=uc_clients(run, users),
-            server_host=server_host,
-            payload_fn=lambda uid: {"filter": "(objectclass=*)"},
-            request_size=p.gris.request_size,
-            warmup=warmup,
-            window=window,
-            retry=retry,
-            faults=faults,
-        )
-
-    if system == "hawkeye-agent":
-        agent = build_agent(run, modules=11, seed=seed)
-        server_host = run.testbed.lucky["lucky4"]
-        service = make_agent_service(run.sim, run.net, server_host, agent, p.agent)
-        run.services["agent"] = service
-        return drive(
-            run,
-            system=system,
-            x=users,
-            service=service,
-            clients=uc_clients(run, users),
-            server_host=server_host,
-            payload_fn=lambda uid: {"query": "status"},
-            request_size=p.agent.request_size,
-            warmup=warmup,
-            window=window,
-            retry=retry,
-            faults=faults,
-        )
-
-    # R-GMA variants ---------------------------------------------------------
-    _registry, servlet = build_rgma_producer_side(run, producers=10, seed=seed)
-    server_host = run.testbed.lucky["lucky3"]
-    ps_service = make_producer_servlet_service(
-        run.sim, run.net, server_host, servlet, p.producer_servlet
-    )
-    run.services["ps"] = ps_service
-    spawn_publisher(run, servlet, server_host)
-    payload_fn = lambda uid: {"sql": "SELECT * FROM cpuLoad"}  # noqa: E731
-    # Faults target the ProducerServlet (the information server under
-    # study); the CS->PS hop rides through them on its own small policy.
+    # The CS->PS hop rides through faults on its own small policy.
     cs_retry = None
-    if retry is not None or faults is not None:
+    if system.startswith("rgma") and (retry is not None or faults is not None):
         cs_retry = RetryPolicy(
             max_attempts=2,
             base_backoff=0.25,
             max_backoff=2.0,
             rng=run.rng.stream("cs-retry", system, str(users)),
         )
+    dep = compile_plan(exp1_plan(system, seed), run, mediation_retry=cs_retry)
 
-    if system == "rgma-ps-uc":
-        cs_host = run.testbed.uc[0]
-        cs_service = make_consumer_servlet_service(
-            run.sim, run.net, cs_host, "uc-cs", ps_service, p.consumer_servlet,
-            retry=cs_retry,
-        )
-        run.services["cs"] = cs_service
-        return drive(
-            run,
-            system=system,
-            x=users,
-            service=cs_service,
-            clients=uc_clients(run, users),
-            server_host=server_host,
-            payload_fn=payload_fn,
-            request_size=p.consumer_servlet.request_size,
-            warmup=warmup,
-            window=window,
-            retry=retry,
-            faults=faults,
-            fault_services=[ps_service] if faults is not None else None,
-        )
+    if system.startswith("mds-gris"):
+        request_size = p.gris.request_size
+    elif system == "hawkeye-agent":
+        request_size = p.agent.request_size
+    else:
+        request_size = p.consumer_servlet.request_size
 
-    # rgma-ps-lucky: one ConsumerServlet per Lucky node, consumers local.
-    cs_nodes = [name for name in run.testbed.lucky if name != "lucky3"]
-    cs_services: dict[str, Service] = {}
-    for name in cs_nodes:
-        cs_services[name] = make_consumer_servlet_service(
-            run.sim,
-            run.net,
-            run.testbed.lucky[name],
-            f"{name}-cs",
-            ps_service,
-            p.consumer_servlet,
-            retry=cs_retry,
-        )
-    clients = lucky_clients(run, users, exclude=("lucky3",))
-    services_by_user = [cs_services[c.name.split(".")[0]] for c in clients]
+    if system == "rgma-ps-lucky":
+        clients = lucky_clients(run, users, exclude=("lucky3",))
+    else:
+        clients = uc_clients(run, users)
+    assert dep.entry is not None
     return drive(
         run,
         system=system,
         x=users,
-        service=ps_service,  # crash/refusal accounting anchor
+        service=dep.entry,
         clients=clients,
-        server_host=server_host,
+        server_host=run.testbed.lucky[server_node],
         payload_fn=payload_fn,
-        request_size=p.consumer_servlet.request_size,
-        services_by_user=services_by_user,
+        request_size=request_size,
+        services_by_user=[dep.route(c) for c in clients] if dep.routed else None,
         warmup=warmup,
         window=window,
         retry=retry,
         faults=faults,
-        fault_services=[ps_service] if faults is not None else None,
+        fault_services=dep.fault_services if faults is not None else None,
     )
 
 

@@ -11,34 +11,20 @@ Series:
 * ``hawkeye-manager``    — Manager on lucky3, 6 Agents x 11 modules;
 * ``rgma-registry-lucky``— Registry on lucky1, consumers on Lucky nodes;
 * ``rgma-registry-uc``   — Registry on lucky1, consumers at UC (<=100).
+
+Each scenario is a :func:`repro.core.topology.catalog.exp2_plan`
+compiled onto a fresh run.
 """
 
 from __future__ import annotations
 
 import typing as _t
 
-from repro.core.experiments.common import (
-    lucky_clients,
-    spawn_agent_advertiser,
-    uc_clients,
-)
+from repro.core.experiments.common import lucky_clients, uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
-from repro.core.services import (
-    make_giis_directory_service,
-    make_manager_directory_service,
-    make_registry_service,
-)
-from repro.core.testbed import LUCKY_NAMES
-from repro.hawkeye.agent import Agent
-from repro.hawkeye.manager import Manager
-from repro.hawkeye.modules import make_default_modules
-from repro.mds.giis import GIIS
-from repro.mds.gris import GRIS
-from repro.mds.providers import replicated_providers
-from repro.rgma.producer import make_default_producers
-from repro.rgma.producer_servlet import ProducerServlet
-from repro.rgma.registry import Registry
+from repro.core.topology import compile_plan
+from repro.core.topology.catalog import exp2_plan
 from repro.sim.faults import FaultPlan
 from repro.sim.rpc import RetryPolicy
 
@@ -57,26 +43,6 @@ X_VALUES = (1, 10, 50, 100, 200, 300, 400, 500, 600)
 UC_VARIANT_MAX_USERS = 100
 
 
-def _build_giis(seed: int) -> GIIS:
-    """GIIS on lucky0 with GRIS on each of lucky3-7 registered, primed."""
-    giis = GIIS("lucky0", cachettl=float("inf"))
-    for i, node in enumerate(("lucky3", "lucky4", "lucky5", "lucky6", "lucky7")):
-        gris = GRIS(
-            f"{node}.mcs.anl.gov",
-            replicated_providers(10),
-            cachettl=float("inf"),
-            seed=seed * 101 + i,
-        )
-
-        def puller(now: float, gris: GRIS = gris) -> tuple[list, float]:
-            result = gris.search(now=now)
-            return result.entries, result.exec_cost
-
-        giis.register(node, puller, now=0.0, ttl=1e12)
-    giis.query(now=0.0)  # prime: "cachettl ... very large ... always in cache"
-    return giis
-
-
 def run_point(
     system: str,
     users: int,
@@ -91,8 +57,7 @@ def run_point(
     """Measure one (system, users) coordinate of Figures 9-12.
 
     ``retry``/``faults`` re-run the same scenario as a fault experiment;
-    the plan lands on the directory server under study (the default
-    anchor service of each branch).
+    the plan's fault target is the directory server under study.
     """
     if system not in SYSTEMS:
         raise ValueError(f"unknown exp2 system {system!r}; pick from {SYSTEMS}")
@@ -101,100 +66,46 @@ def run_point(
 
     if system == "mds-giis":
         monitored: tuple[str, ...] = ("lucky0",)
+        server_node = "lucky0"
+        payload_fn = lambda uid: {"filter": "(objectclass=MdsHost)"}  # noqa: E731
     elif system == "hawkeye-manager":
         monitored = ("lucky3",)
+        server_node = "lucky3"
+        payload_fn = lambda uid: {"machine": "lucky4.mcs.anl.gov"}  # noqa: E731
     else:
         monitored = ("lucky1",)
+        server_node = "lucky1"
+        payload_fn = lambda uid: {"table": "cpuLoad"}  # noqa: E731
     run = new_run(seed, params, monitored=monitored)
     p = run.params
+    dep = compile_plan(exp2_plan(system, seed), run)
 
     if system == "mds-giis":
-        giis = _build_giis(seed)
-        server_host = run.testbed.lucky["lucky0"]
-        service = make_giis_directory_service(run.sim, run.net, server_host, giis, p.giis)
-        run.services["giis"] = service
-        return drive(
-            run,
-            system=system,
-            x=users,
-            service=service,
-            clients=uc_clients(run, users),
-            server_host=server_host,
-            payload_fn=lambda uid: {"filter": "(objectclass=MdsHost)"},
-            request_size=p.giis.request_size,
-            warmup=warmup,
-            window=window,
-            retry=retry,
-            faults=faults,
-        )
-
-    if system == "hawkeye-manager":
-        manager = Manager("lucky3")
-        server_host = run.testbed.lucky["lucky3"]
-        # Six agents, one per remaining Lucky node, 11 default modules
-        # each, advertising Startd ads every 30 s (paper §3.4).
-        agent_nodes = [n for n in LUCKY_NAMES if n != "lucky3"]
-        for i, node in enumerate(agent_nodes):
-            agent = Agent(f"{node}.mcs.anl.gov", make_default_modules(), seed=seed * 77 + i)
-            manager.register_agent(agent)
-            ad, _ = agent.make_startd_ad(now=0.0)
-            manager.receive_ad(ad, now=0.0)
-            spawn_agent_advertiser(
-                run,
-                agent,
-                server_host,
-                p.manager.ad_ingest_cpu,
-                interval=p.manager.advertise_interval,
-                receive=manager.receive_ad,
-            )
-        service = make_manager_directory_service(
-            run.sim, run.net, server_host, manager, p.manager
-        )
-        run.services["manager"] = service
-        return drive(
-            run,
-            system=system,
-            x=users,
-            service=service,
-            clients=uc_clients(run, users),
-            server_host=server_host,
-            payload_fn=lambda uid: {"machine": "lucky4.mcs.anl.gov"},
-            request_size=p.manager.request_size,
-            warmup=warmup,
-            window=window,
-            retry=retry,
-            faults=faults,
-        )
-
-    # R-GMA Registry variants --------------------------------------------------
-    registry = Registry("lucky1")
-    server_host = run.testbed.lucky["lucky1"]
-    # Five ProducerServlets (one per remaining Lucky node), each with 10
-    # local producers registered (paper §3.4).
-    ps_nodes = ("lucky0", "lucky3", "lucky4", "lucky5", "lucky6")
-    for i, node in enumerate(ps_nodes):
-        servlet = ProducerServlet(f"{node}-ps")
-        for producer in make_default_producers(f"{node}.mcs.anl.gov", 10, seed=seed * 31 + i):
-            servlet.attach(producer, registry, now=0.0, lease=1e9)
-    service = make_registry_service(run.sim, run.net, server_host, registry, p.registry)
-    run.services["registry"] = service
-    if system == "rgma-registry-uc":
-        clients = uc_clients(run, users)
+        request_size = p.giis.request_size
+    elif system == "hawkeye-manager":
+        request_size = p.manager.request_size
     else:
+        request_size = p.registry.request_size
+
+    if system == "rgma-registry-lucky":
         clients = lucky_clients(run, users, exclude=("lucky1",))
+    else:
+        clients = uc_clients(run, users)
+    assert dep.entry is not None
     return drive(
         run,
         system=system,
         x=users,
-        service=service,
+        service=dep.entry,
         clients=clients,
-        server_host=server_host,
-        payload_fn=lambda uid: {"table": "cpuLoad"},
-        request_size=p.registry.request_size,
+        server_host=run.testbed.lucky[server_node],
+        payload_fn=payload_fn,
+        request_size=request_size,
         warmup=warmup,
         window=window,
         retry=retry,
         faults=faults,
+        fault_services=dep.fault_services if faults is not None else None,
     )
 
 

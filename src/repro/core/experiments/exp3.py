@@ -10,26 +10,21 @@ Series:
 * ``mds-gris-nocache`` — GRIS re-running every provider per query;
 * ``hawkeye-agent``    — Agent with vmstat-clone modules;
 * ``rgma-ps``          — ProducerServlet queried directly.
+
+Each scenario is a :func:`repro.core.topology.catalog.exp3_plan`
+compiled onto a fresh run; the collector count parameterizes the
+plan's collector bank.
 """
 
 from __future__ import annotations
 
 import typing as _t
 
-from repro.core.experiments.common import (
-    build_agent,
-    build_gris,
-    build_rgma_producer_side,
-    spawn_publisher,
-    uc_clients,
-)
+from repro.core.experiments.common import uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
-from repro.core.services import (
-    make_agent_service,
-    make_gris_service,
-    make_producer_servlet_service,
-)
+from repro.core.topology import compile_plan
+from repro.core.topology.catalog import exp3_plan
 
 __all__ = ["SYSTEMS", "X_VALUES", "USERS", "run_point", "sweep"]
 
@@ -58,47 +53,35 @@ def run_point(
 
     if system.startswith("mds-gris"):
         monitored: tuple[str, ...] = ("lucky7",)
+        server_node = "lucky7"
+        payload_fn = lambda uid: {"filter": "(objectclass=*)"}  # noqa: E731
     elif system == "hawkeye-agent":
         monitored = ("lucky4",)
+        server_node = "lucky4"
+        payload_fn = lambda uid: {"query": "status"}  # noqa: E731
     else:
         monitored = ("lucky3",)
+        server_node = "lucky3"
+        payload_fn = lambda uid: {"sql": "SELECT * FROM cpuLoad"}  # noqa: E731
     run = new_run(seed, params, monitored=monitored)
     p = run.params
-    clients = uc_clients(run, users)
+    dep = compile_plan(exp3_plan(system, collectors, seed), run)
 
-    if system in ("mds-gris-cache", "mds-gris-nocache"):
-        cached = not system.endswith("nocache")
-        gris = build_gris(run, collectors=collectors, cached=cached, seed=seed)
-        server_host = run.testbed.lucky["lucky7"]
-        service = make_gris_service(run.sim, run.net, server_host, gris, p.gris)
-        run.services["gris"] = service
-        payload_fn = lambda uid: {"filter": "(objectclass=*)"}  # noqa: E731
+    if system.startswith("mds-gris"):
         request_size = p.gris.request_size
     elif system == "hawkeye-agent":
-        agent = build_agent(run, modules=collectors, seed=seed)
-        server_host = run.testbed.lucky["lucky4"]
-        service = make_agent_service(run.sim, run.net, server_host, agent, p.agent)
-        run.services["agent"] = service
-        payload_fn = lambda uid: {"query": "status"}  # noqa: E731
         request_size = p.agent.request_size
     else:  # rgma-ps: "We queried the ProducerServlet directly" (§3.5)
-        _registry, servlet = build_rgma_producer_side(run, producers=collectors, seed=seed)
-        server_host = run.testbed.lucky["lucky3"]
-        service = make_producer_servlet_service(
-            run.sim, run.net, server_host, servlet, p.producer_servlet
-        )
-        run.services["ps"] = service
-        spawn_publisher(run, servlet, server_host)
-        payload_fn = lambda uid: {"sql": "SELECT * FROM cpuLoad"}  # noqa: E731
         request_size = p.producer_servlet.request_size
 
+    assert dep.entry is not None
     return drive(
         run,
         system=system,
         x=collectors,
-        service=service,
-        clients=clients,
-        server_host=server_host,
+        service=dep.entry,
+        clients=uc_clients(run, users),
+        server_host=run.testbed.lucky[server_node],
         payload_fn=payload_fn,
         request_size=request_size,
         warmup=warmup,

@@ -15,7 +15,12 @@ Series:
   users issue worst-case (match-nothing) constraint queries.
 
 R-GMA has no aggregate information server (Table 1), so — exactly like
-the paper — it has no series here.
+the paper — it has no series here; asking the topology plane for one
+raises :class:`~repro.core.topology.plan.PlanError`.
+
+Each scenario is a :func:`repro.core.topology.catalog.exp4_plan`
+compiled onto a fresh run — the GRIS bank and the synthetic advertiser
+pool are replicated node specs, not hand loops.
 """
 
 from __future__ import annotations
@@ -25,18 +30,8 @@ import typing as _t
 from repro.core.experiments.common import uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
-from repro.core.services import (
-    make_giis_aggregate_service,
-    make_manager_aggregate_service,
-    make_manager_ingest_service,
-)
-from repro.core.testbed import LUCKY_NAMES
-from repro.hawkeye.advertise import synthesize_startd_ad
-from repro.hawkeye.manager import Manager
-from repro.mds.giis import GIIS
-from repro.mds.gris import GRIS
-from repro.mds.providers import replicated_providers
-from repro.sim.rpc import call
+from repro.core.topology import compile_plan
+from repro.core.topology.catalog import exp4_plan
 
 __all__ = ["SYSTEMS", "X_VALUES", "USERS", "run_point", "sweep"]
 
@@ -50,33 +45,6 @@ X_VALUES: dict[str, tuple[int, ...]] = {
 }
 
 USERS = 10
-
-
-def _build_giis(registrants: int, seed: int) -> GIIS:
-    """A GIIS with ``registrants`` simulated GRIS registered and primed.
-
-    The paper simulated extra GRIS "by running multiple instances at
-    each Lucky node except lucky0 where the GIIS ran" — the identities
-    below mirror that placement.
-    """
-    giis = GIIS("lucky0", cachettl=float("inf"))
-    nodes = [n for n in LUCKY_NAMES if n != "lucky0"]
-    for i in range(registrants):
-        node = nodes[i % len(nodes)]
-        gris = GRIS(
-            f"{node}-inst{i}.mcs.anl.gov",
-            replicated_providers(10),
-            cachettl=float("inf"),
-            seed=seed * 7919 + i,
-        )
-
-        def puller(now: float, gris: GRIS = gris) -> tuple[list, float]:
-            result = gris.search(now=now)
-            return result.entries, result.exec_cost
-
-        giis.register(f"gris{i}", puller, now=0.0, ttl=1e12)
-    giis.query(now=0.0)  # prime every registrant's cache before measuring
-    return giis
 
 
 def run_point(
@@ -93,83 +61,29 @@ def run_point(
     if system not in SYSTEMS:
         raise ValueError(f"unknown exp4 system {system!r}; pick from {SYSTEMS}")
 
-    monitored = ("lucky0",) if system.startswith("mds") else ("lucky3",)
+    if system.startswith("mds-giis"):
+        monitored: tuple[str, ...] = ("lucky0",)
+        server_node = "lucky0"
+        payload_fn = lambda uid: {"filter": "(objectclass=*)"}  # noqa: E731
+    else:
+        monitored = ("lucky3",)
+        server_node = "lucky3"
+        payload_fn = lambda uid: {"constraint": "TARGET.CpuLoad > 50"}  # noqa: E731
     run = new_run(seed, params, monitored=monitored)
     p = run.params
-    clients = uc_clients(run, users)
+    dep = compile_plan(exp4_plan(system, servers, seed), run)
+    request_size = p.giis.request_size if system.startswith("mds") else p.manager.request_size
 
-    if system.startswith("mds-giis"):
-        query_part = system.endswith("part")
-        giis = _build_giis(servers, seed)
-        server_host = run.testbed.lucky["lucky0"]
-        service = make_giis_aggregate_service(
-            run.sim, run.net, server_host, giis, p.giis, query_part=query_part
-        )
-        run.services["giis"] = service
-        return drive(
-            run,
-            system=system,
-            x=servers,
-            service=service,
-            clients=clients,
-            server_host=server_host,
-            payload_fn=lambda uid: {"filter": "(objectclass=*)"},
-            request_size=p.giis.request_size,
-            warmup=warmup,
-            window=window,
-        )
-
-    # hawkeye-manager ----------------------------------------------------------
-    manager = Manager("lucky3")
-    server_host = run.testbed.lucky["lucky3"]
-    service, collector_mutex = make_manager_aggregate_service(
-        run.sim, run.net, server_host, manager, p.manager
-    )
-    ingest = make_manager_ingest_service(
-        run.sim, run.net, server_host, manager, p.manager, collector_mutex
-    )
-    run.services["manager"] = service
-    run.services["ingest"] = ingest
-
-    # Simulated machines advertising every 30 s (hawkeye_advertise).
-    adv_hosts = [run.testbed.lucky[n] for n in LUCKY_NAMES if n != "lucky3"]
-    rng = run.rng.stream("advertisers", str(servers))
-
-    def advertiser(machine: str, host, offset: float) -> _t.Generator:
-        local_rng = run.rng.stream("ad", machine)
-        ad = synthesize_startd_ad(machine, local_rng, now=0.0)
-        manager.receive_ad(ad, now=0.0)  # pool is warm at t=0
-        yield run.sim.timeout(offset)
-        while True:
-            ad = synthesize_startd_ad(machine, local_rng, now=run.sim.now)
-            try:
-                yield from call(
-                    run.sim,
-                    run.net,
-                    host,
-                    ingest,
-                    {"ad": ad},
-                    size=p.manager.ad_wire_bytes,
-                )
-            except Exception:
-                pass  # a dropped ad is just a missed update
-            yield run.sim.timeout(p.manager.advertise_interval)
-
-    for i in range(servers):
-        machine = f"sim{i:04d}.pool"
-        host = adv_hosts[i % len(adv_hosts)]
-        offset = float(rng.uniform(0.0, p.manager.advertise_interval))
-        run.sim.spawn(advertiser(machine, host, offset), name=f"adv:{machine}")
-
+    assert dep.entry is not None
     return drive(
         run,
         system=system,
         x=servers,
-        service=service,
-        clients=clients,
-        server_host=server_host,
-        payload_fn=lambda uid: {"constraint": "TARGET.CpuLoad > 50"},
-        request_size=p.manager.request_size,
+        service=dep.entry,
+        clients=uc_clients(run, users),
+        server_host=run.testbed.lucky[server_node],
+        payload_fn=payload_fn,
+        request_size=request_size,
         warmup=warmup,
         window=window,
     )

@@ -23,18 +23,15 @@ here:
 from __future__ import annotations
 
 import dataclasses
-import math
 import typing as _t
 
 from repro.core.experiments import exp1
 from repro.core.experiments.common import uc_clients
 from repro.core.params import default_params
 from repro.core.runner import PointResult, drive, new_run
-from repro.mds.giis import GIIS
-from repro.mds.gris import GRIS
-from repro.mds.providers import replicated_providers
+from repro.core.topology import compile_plan
+from repro.core.topology.catalog import two_level_plan
 from repro.sim.rpc import Request, Response, Service, call
-from repro.core.testbed import LUCKY_NAMES
 
 __all__ = [
     "wan_sweep",
@@ -263,71 +260,6 @@ def push_vs_pull(
 # -- multi-layer hierarchy -------------------------------------------------
 
 
-def _make_child_giis(name: str, count: int, seed: int) -> GIIS:
-    giis = GIIS(name, cachettl=float("inf"))
-    for i in range(count):
-        gris = GRIS(
-            f"{name}-gris{i}",
-            replicated_providers(10),
-            cachettl=float("inf"),
-            seed=seed * 131 + i,
-        )
-
-        def puller(now: float, gris: GRIS = gris) -> tuple[list, float]:
-            result = gris.search(now=now)
-            return result.entries, result.exec_cost
-
-        giis.register(f"{name}-g{i}", puller, now=0.0, ttl=1e12)
-    giis.query(now=0.0)
-    return giis
-
-
-def _make_top_service(
-    run,
-    mid_services: list[Service],
-    p,
-) -> Service:
-    """A top-level GIIS that fans out to mid-level GIIS services.
-
-    The top's own assembly cost covers only its direct children
-    (``len(mid_services)`` registrants); the heavy per-GRIS work happens
-    in parallel at the mids.
-    """
-    host = run.testbed.lucky["lucky0"]
-    k = len(mid_services)
-    cost = p.aggregate_cpu_coeff * (k ** p.aggregate_cpu_exp)
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(cost)
-        # Fan out to every mid-level GIIS concurrently.
-        workers = [
-            run.sim.spawn(
-                _sub_call(run, host, mid, request.payload), name=f"fan:{mid.name}"
-            )
-            for mid in mid_services
-        ]
-        yield run.sim.all_of(workers)
-        entries = sum(w.value["entries"] for w in workers if w.ok and isinstance(w.value, dict))
-        size = sum(w.value["size"] for w in workers if w.ok and isinstance(w.value, dict))
-        return Response(value={"entries": entries}, size=max(size, 512))
-
-    return Service(
-        run.sim,
-        run.net,
-        host,
-        "giis:top",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
-    )
-
-
-def _sub_call(run, host, mid_service: Service, payload) -> _t.Generator:
-    value = yield from call(run.sim, run.net, host, mid_service, payload, size=512)
-    return value
-
-
 def hierarchy_comparison(
     registrants: int = 100,
     users: int = 10,
@@ -353,47 +285,13 @@ def hierarchy_comparison(
     # --- two-level ------------------------------------------------------------
     run = new_run(seed, monitored=("lucky0",))
     p = run.params.giis
-    fan = max(2, round(math.sqrt(registrants)))
-    mid_nodes = [n for n in LUCKY_NAMES if n != "lucky0"]
-    mid_services: list[Service] = []
-    assigned = 0
-    mid_index = 0
-    while assigned < registrants:
-        share = min(fan, registrants - assigned)
-        node = mid_nodes[mid_index % len(mid_nodes)]
-        giis = _make_child_giis(f"mid{mid_index}", share, seed)
-        mid_host = run.testbed.lucky[node]
-
-        def mid_handler(
-            service: Service, request: Request, giis: GIIS = giis, mid_host=mid_host
-        ) -> _t.Generator:
-            cost = p.aggregate_cpu_coeff * (giis.registrant_count ** p.aggregate_cpu_exp)
-            yield mid_host.compute(cost)
-            result = giis.query(now=run.sim.now)
-            size = max(result.estimated_size(), len(result.entries) * p.entry_wire_bytes)
-            return Response(value={"entries": len(result.entries), "size": size}, size=size)
-
-        mid_services.append(
-            Service(
-                run.sim,
-                run.net,
-                mid_host,
-                f"giis:mid{mid_index}",
-                mid_handler,
-                max_threads=p.max_threads,
-                backlog=p.backlog,
-            )
-        )
-        assigned += share
-        mid_index += 1
-
-    top = _make_top_service(run, mid_services, p)
-    run.services["top"] = top
+    dep = compile_plan(two_level_plan(registrants, seed), run)
+    assert dep.entry is not None
     out["two-level"] = drive(
         run,
         system="giis-two-level",
         x=registrants,
-        service=top,
+        service=dep.entry,
         clients=uc_clients(run, users),
         server_host=run.testbed.lucky["lucky0"],
         payload_fn=lambda uid: {"filter": "(objectclass=*)"},

@@ -38,24 +38,12 @@ from repro.core.experiments import exp1, exp2
 from repro.core.experiments.common import uc_clients
 from repro.core.params import StudyParams, measurement_window
 from repro.core.runner import PointResult, drive, new_run
-from repro.core.services import (
-    make_giis_directory_service,
-    make_giis_registration_service,
-    make_manager_directory_service,
-    make_manager_ingest_service,
-)
-from repro.core.testbed import LUCKY_NAMES
-from repro.hawkeye.agent import Agent
-from repro.hawkeye.manager import Manager
-from repro.hawkeye.modules import make_default_modules
-from repro.hawkeye.resilience import AdvertiserStats, resilient_advertiser
-from repro.mds.giis import GIIS
-from repro.mds.gris import GRIS
-from repro.mds.providers import replicated_providers
-from repro.mds.resilience import RegistrarStats, soft_state_registrar
+from repro.core.topology import compile_plan
+from repro.core.topology.catalog import advertise_fault_plan, registration_fault_plan
+from repro.hawkeye.resilience import AdvertiserStats
+from repro.mds.resilience import RegistrarStats
 from repro.sim.faults import CrashRestartSchedule, DropInjector, FaultPlan, StallInjector
 from repro.sim.randomness import RngHub
-from repro.sim.resources import Mutex
 from repro.sim.rpc import CircuitBreaker, RetryPolicy
 
 __all__ = [
@@ -263,79 +251,34 @@ def _registration_point(
     """GIIS directory queries while GRIS keep soft-state leases alive."""
     run = new_run(seed, params, monitored=("lucky0",))
     p = run.params
-    giis = GIIS("lucky0", cachettl=float("inf"))
-    server_host = run.testbed.lucky["lucky0"]
-    reg_nodes = ("lucky3", "lucky4", "lucky5", "lucky6", "lucky7")
-    pullers: dict[str, _t.Callable[[float], tuple[list, float]]] = {}
-    for i, node in enumerate(reg_nodes):
-        gris = GRIS(
-            f"{node}.mcs.anl.gov",
-            replicated_providers(10),
-            cachettl=float("inf"),
-            seed=seed * 101 + i,
-        )
-
-        def puller(now: float, gris: GRIS = gris) -> tuple[list, float]:
-            result = gris.search(now=now)
-            return result.entries, result.exec_cost
-
-        pullers[node] = puller
-        giis.register(node, puller, now=0.0, ttl=REG_TTL)
-    giis.query(now=0.0)  # prime the aggregate cache
-
-    dir_service = make_giis_directory_service(run.sim, run.net, server_host, giis, p.giis)
-    reg_service = make_giis_registration_service(
-        run.sim, run.net, server_host, giis, p.giis, pullers
-    )
-    run.services["giis"] = dir_service
-    run.services["giis-reg"] = reg_service
-
     reg_retry = RetryPolicy(
         max_attempts=3,
         base_backoff=0.5,
         max_backoff=4.0,
         rng=run.rng.stream("registrar-retry", str(users)),
     )
-    reg_stats: list[RegistrarStats] = []
-    for node in reg_nodes:
-        st = RegistrarStats(registered=True, last_confirmed=0.0)
-        reg_stats.append(st)
-        run.sim.spawn(
-            soft_state_registrar(
-                run.sim,
-                run.net,
-                run.testbed.lucky[node],
-                reg_service,
-                node,
-                interval=REG_INTERVAL,
-                ttl=REG_TTL,
-                retry=reg_retry,
-                stats=st,
-            ),
-            name=f"registrar:{node}",
-        )
+    dep = compile_plan(
+        registration_fault_plan(seed, interval=REG_INTERVAL, ttl=REG_TTL),
+        run,
+        registration_retry=reg_retry,
+    )
+    reg_stats: list[RegistrarStats] = dep.extras["registrar_stats"]
 
-    def lease_sweeper() -> _t.Generator:
-        while True:
-            yield run.sim.timeout(1.0)
-            giis.sweep(run.sim.now)
-
-    run.sim.spawn(lease_sweeper(), name="giis-sweep")
-
+    assert dep.entry is not None
     result = drive(
         run,
         system="mds-registration",
         x=users,
-        service=dir_service,
+        service=dep.entry,
         clients=uc_clients(run, users),
-        server_host=server_host,
+        server_host=run.testbed.lucky["lucky0"],
         payload_fn=lambda uid: {"filter": "(objectclass=MdsHost)"},
         request_size=p.giis.request_size,
         warmup=warmup,
         window=window,
         retry=retry,
         faults=faults,
-        fault_services=[dir_service, reg_service] if faults is not None else None,
+        fault_services=dep.fault_services if faults is not None else None,
     )
     extras = {
         "renewals": float(sum(st.renewals for st in reg_stats)),
@@ -360,61 +303,34 @@ def _advertise_point(
     """Manager directory queries while Agents advertise over the wire."""
     run = new_run(seed, params, monitored=("lucky3",))
     p = run.params
-    manager = Manager("lucky3")
-    server_host = run.testbed.lucky["lucky3"]
-    collector = Mutex(run.sim, name=f"manager:{manager.name}:collector")
-    ingest = make_manager_ingest_service(
-        run.sim, run.net, server_host, manager, p.manager, collector
-    )
-    dir_service = make_manager_directory_service(
-        run.sim, run.net, server_host, manager, p.manager
-    )
-    run.services["manager"] = dir_service
-    run.services["manager-ingest"] = ingest
-
     adv_retry = RetryPolicy(
         max_attempts=3,
         base_backoff=0.5,
         max_backoff=4.0,
         rng=run.rng.stream("advertiser-retry", str(users)),
     )
-    agent_nodes = [n for n in LUCKY_NAMES if n != "lucky3"]
-    adv_stats: list[AdvertiserStats] = []
-    for i, node in enumerate(agent_nodes):
-        agent = Agent(f"{node}.mcs.anl.gov", make_default_modules(), seed=seed * 77 + i)
-        manager.register_agent(agent)
-        ad, _ = agent.make_startd_ad(now=0.0)
-        manager.receive_ad(ad, now=0.0)
-        st = AdvertiserStats(last_delivered=0.0)
-        adv_stats.append(st)
-        run.sim.spawn(
-            resilient_advertiser(
-                run.sim,
-                run.net,
-                run.testbed.lucky[node],
-                ingest,
-                agent,
-                interval=ADVERTISE_INTERVAL,
-                retry=adv_retry,
-                stats=st,
-            ),
-            name=f"resilient-adv:{node}",
-        )
+    dep = compile_plan(
+        advertise_fault_plan(seed, interval=ADVERTISE_INTERVAL),
+        run,
+        advertise_retry=adv_retry,
+    )
+    adv_stats: list[AdvertiserStats] = dep.extras["advertiser_stats"]
 
+    assert dep.entry is not None
     result = drive(
         run,
         system="hawkeye-advertise",
         x=users,
-        service=dir_service,
+        service=dep.entry,
         clients=uc_clients(run, users),
-        server_host=server_host,
+        server_host=run.testbed.lucky["lucky3"],
         payload_fn=lambda uid: {"machine": "lucky4.mcs.anl.gov"},
         request_size=p.manager.request_size,
         warmup=warmup,
         window=window,
         retry=retry,
         faults=faults,
-        fault_services=[dir_service, ingest] if faults is not None else None,
+        fault_services=dep.fault_services if faults is not None else None,
     )
     end = warmup + window
     extras = {

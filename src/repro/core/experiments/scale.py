@@ -1,0 +1,133 @@
+"""Hierarchy scalability — deep aggregate trees the paper only sketched.
+
+§3.6 ends with the suggestion that "a multi-layer architecture in which
+each middle-level aggregate information server manages a subset of
+information servers" would push the aggregation limits out.
+:func:`repro.core.experiments.extensions.hierarchy_comparison` answers
+that for one two-level MDS tree; this module sweeps the whole design
+space for both systems that *have* an aggregate server (Table 1 — MDS
+GIIS and Hawkeye Manager; R-GMA has none).
+
+Every point is a single :func:`repro.core.topology.catalog.hierarchy_plan`
+compiled onto a fresh run: ``depth`` aggregate levels with ``fanout``
+children per node, i.e. ``fanout**depth`` information servers total,
+without a line of per-shape wiring here.  That is the point of the
+deployment plane — the 3x3 grid below would otherwise be nine
+hand-built scenarios.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.core.experiments.common import uc_clients
+from repro.core.params import StudyParams
+from repro.core.runner import PointResult, drive, new_run
+from repro.core.topology import compile_plan
+from repro.core.topology.catalog import hierarchy_plan
+
+__all__ = [
+    "SYSTEMS",
+    "DEPTHS",
+    "FANOUTS",
+    "USERS",
+    "ScalePoint",
+    "run_scale_point",
+    "sweep_scale",
+    "format_scale_table",
+]
+
+SYSTEMS = ("mds", "hawkeye")
+
+# The sweep grid: 2..512 information servers per tree.
+DEPTHS = (1, 2, 3)
+FANOUTS = (2, 4, 8)
+
+USERS = 10
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One tree shape: the compiled plan's shape plus the measured point."""
+
+    system: str
+    depth: int
+    fanout: int
+    servers: int  # fanout ** depth
+    result: PointResult
+
+
+def run_scale_point(
+    system: str,
+    depth: int,
+    fanout: int,
+    seed: int = 1,
+    *,
+    users: int = USERS,
+    params: StudyParams | None = None,
+    warmup: float | None = None,
+    window: float | None = None,
+) -> ScalePoint:
+    """Measure one (depth, fanout) tree under ``users`` concurrent queriers."""
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown scale system {system!r}; pick from {SYSTEMS}")
+    if system == "mds":
+        server_node = "lucky0"
+        payload_fn = lambda uid: {"filter": "(objectclass=*)"}  # noqa: E731
+    else:
+        server_node = "lucky3"
+        payload_fn = lambda uid: {"constraint": "TARGET.CpuLoad > 50"}  # noqa: E731
+    run = new_run(seed, params, monitored=(server_node,))
+    p = run.params.giis if system == "mds" else run.params.manager
+    dep = compile_plan(hierarchy_plan(system, depth, fanout, seed), run)
+
+    servers = fanout**depth
+    assert dep.entry is not None
+    result = drive(
+        run,
+        system=f"{system}-tree-d{depth}",
+        x=servers,
+        service=dep.entry,
+        clients=uc_clients(run, users),
+        server_host=run.testbed.lucky[server_node],
+        payload_fn=payload_fn,
+        request_size=p.request_size,
+        warmup=warmup,
+        window=window,
+    )
+    return ScalePoint(system=system, depth=depth, fanout=fanout, servers=servers, result=result)
+
+
+def sweep_scale(
+    system: str,
+    seed: int = 1,
+    *,
+    depths: _t.Sequence[int] = DEPTHS,
+    fanouts: _t.Sequence[int] = FANOUTS,
+    **kwargs: _t.Any,
+) -> list[ScalePoint]:
+    """The full depth x fanout grid for one system."""
+    return [
+        run_scale_point(system, depth, fanout, seed, **kwargs)
+        for depth in depths
+        for fanout in fanouts
+    ]
+
+
+def format_scale_table(rows: _t.Sequence[ScalePoint]) -> str:
+    """Fixed-width table of the grid for benchmark output."""
+    header = (
+        f"{'system':<10} {'depth':>5} {'fanout':>6} {'servers':>7} "
+        f"{'thru(q/s)':>9} {'resp(s)':>8} {'cpu%':>6} {'load1':>6} {'state':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        s = r.result.summary
+        state = "CRASH" if r.result.crashed else "ok"
+        lines.append(
+            f"{r.system:<10} {r.depth:>5} {r.fanout:>6} {r.servers:>7} "
+            f"{s.throughput:>9.2f} {s.response_time:>8.3f} "
+            f"{s.cpu_load:>6.1f} {s.load1:>6.2f} {state:>7}"
+        )
+    return "\n".join(lines)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro.core.components import Role, System
+from repro.core.costmodel import busy_split, held
 from repro.core.params import (
     AgentParams,
     ConsumerServletParams,
@@ -44,10 +46,15 @@ from repro.sim.resources import Mutex
 from repro.sim.rpc import Request, Response, RetryPolicy, Service, call
 
 __all__ = [
+    "SERVICE_FACTORIES",
+    "service_factory",
     "make_gris_service",
     "make_giis_directory_service",
     "make_giis_aggregate_service",
     "make_giis_registration_service",
+    "make_giis_leaf_service",
+    "make_giis_fanout_service",
+    "make_manager_fanout_service",
     "make_agent_service",
     "make_producer_servlet_service",
     "make_consumer_servlet_service",
@@ -57,19 +64,35 @@ __all__ = [
     "make_manager_ingest_service",
 ]
 
+# Role-keyed adapter registry: (system, role, variant) -> factory.  The
+# topology compiler (repro.core.topology) resolves Table-1 cells through
+# this instead of importing factories by name, so a plan stays
+# declarative about *which role* a node plays and the registry decides
+# which cost-model adapter realizes it.
+SERVICE_FACTORIES: dict[tuple[System, Role, str], _t.Callable[..., _t.Any]] = {}
 
-def _held(sim: Simulator, host: Host, mutex: Mutex, hold: float, cpu_fraction: float):
-    """Hold ``mutex`` for ``hold`` seconds, part CPU, part blocked I/O."""
-    yield mutex.acquire()
+
+def _factory(system: System, *keys: tuple[Role, str]):
+    """Register a service factory under one or more (role, variant) cells."""
+
+    def decorate(fn: _t.Callable[..., _t.Any]) -> _t.Callable[..., _t.Any]:
+        for role, variant in keys:
+            SERVICE_FACTORIES[(system, role, variant)] = fn
+        return fn
+
+    return decorate
+
+
+def service_factory(
+    system: System, role: Role, variant: str = "default"
+) -> _t.Callable[..., _t.Any]:
+    """Table-1 dispatch: the factory realizing ``role`` for ``system``."""
     try:
-        cpu_part = hold * cpu_fraction
-        io_part = hold - cpu_part
-        if cpu_part > 0:
-            yield host.compute(cpu_part)
-        if io_part > 0:
-            yield sim.timeout(io_part)
-    finally:
-        mutex.release()
+        return SERVICE_FACTORIES[(system, role, variant)]
+    except KeyError:
+        raise KeyError(
+            f"no service adapter for {system.value} / {role.value} / {variant!r}"
+        ) from None
 
 
 # -- MDS ----------------------------------------------------------------------
@@ -77,16 +100,10 @@ def _held(sim: Simulator, host: Host, mutex: Mutex, hold: float, cpu_fraction: f
 
 def _gris_stale_count(gris: GRIS, now: float) -> int:
     """How many providers a search at ``now`` would re-run (no side effects)."""
-    if gris.cache.ttl <= 0:
-        return len(gris.providers)
-    stale = 0
-    for provider in gris.providers:
-        item = gris.cache._store.get(provider.name)
-        if item is None or now >= item[0]:
-            stale += 1
-    return stale
+    return gris.cache.stale_count(now, (provider.name for provider in gris.providers))
 
 
+@_factory(System.MDS, (Role.INFORMATION_SERVER, "default"))
 def make_gris_service(
     sim: Simulator, net: Network, host: Host, gris: GRIS, p: GrisParams
 ) -> Service:
@@ -100,7 +117,9 @@ def make_gris_service(
             try:
                 stale = _gris_stale_count(gris, sim.now)  # recheck after queueing
                 if stale:
-                    yield from _held_body(stale)
+                    yield from busy_split(
+                        sim, host, stale * p.provider_hold, p.provider_cpu_fraction
+                    )
                 result = gris.search(now=sim.now)
             finally:
                 provider_mutex.release()
@@ -111,12 +130,6 @@ def make_gris_service(
             value={"entries": len(result.entries), "fetched": result.fetched},
             size=result.estimated_size(),
         )
-
-    def _held_body(stale: int) -> _t.Generator:
-        hold = stale * p.provider_hold
-        cpu_part = hold * p.provider_cpu_fraction
-        yield host.compute(cpu_part)
-        yield sim.timeout(hold - cpu_part)
 
     return Service(
         sim,
@@ -130,6 +143,7 @@ def make_gris_service(
     )
 
 
+@_factory(System.MDS, (Role.DIRECTORY_SERVER, "default"))
 def make_giis_directory_service(
     sim: Simulator, net: Network, host: Host, giis: GIIS, p: GiisParams
 ) -> Service:
@@ -159,6 +173,7 @@ def make_giis_directory_service(
     )
 
 
+@_factory(System.MDS, (Role.AGGREGATE_INFORMATION_SERVER, "default"))
 def make_giis_aggregate_service(
     sim: Simulator,
     net: Network,
@@ -187,7 +202,7 @@ def make_giis_aggregate_service(
             )
         scale = p.part_fraction if query_part else 1.0
         cost = scale * p.aggregate_cpu_coeff * (g ** p.aggregate_cpu_exp)
-        yield from _held(sim, host, assembly_mutex, cost, cpu_fraction=0.85)
+        yield from held(sim, host, assembly_mutex, cost, cpu_fraction=0.85)
         if query_part:
             names = [reg.name for reg in giis.registrations.alive(sim.now)][:part_size]
             result = giis.query(now=sim.now, subset=names)
@@ -209,6 +224,11 @@ def make_giis_aggregate_service(
     )
 
 
+@_factory(
+    System.MDS,
+    (Role.DIRECTORY_SERVER, "registration"),
+    (Role.AGGREGATE_INFORMATION_SERVER, "registration"),
+)
 def make_giis_registration_service(
     sim: Simulator,
     net: Network,
@@ -256,9 +276,90 @@ def make_giis_registration_service(
     )
 
 
+@_factory(System.MDS, (Role.AGGREGATE_INFORMATION_SERVER, "leaf"))
+def make_giis_leaf_service(
+    sim: Simulator, net: Network, host: Host, giis: GIIS, p: GiisParams
+) -> Service:
+    """A mid-/leaf-level GIIS inside a hierarchy (§3.6's suggested fix).
+
+    Unlike the top-level aggregate, a subtree GIIS answers from its own
+    primed cache with pure CPU assembly cost — the serialized LDAP
+    backend bottleneck belongs to the node the users hit, and the whole
+    point of the hierarchy is that this work happens in parallel across
+    nodes.
+    """
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        cost = p.aggregate_cpu_coeff * (giis.registrant_count ** p.aggregate_cpu_exp)
+        yield host.compute(cost)
+        result = giis.query(now=sim.now)
+        size = max(result.estimated_size(), len(result.entries) * p.entry_wire_bytes)
+        return Response(value={"entries": len(result.entries), "size": size}, size=size)
+
+    return Service(
+        sim,
+        net,
+        host,
+        f"giis:{giis.name}",
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+    )
+
+
+@_factory(System.MDS, (Role.AGGREGATE_INFORMATION_SERVER, "fanout"))
+def make_giis_fanout_service(
+    sim: Simulator,
+    net: Network,
+    host: Host,
+    children: _t.Sequence[Service],
+    p: GiisParams,
+    *,
+    label: str = "giis:top",
+    top: bool = True,
+) -> Service:
+    """An interior GIIS aggregating child GIIS services concurrently.
+
+    The node's own assembly cost covers only its direct children; the
+    heavy per-registrant work happens in parallel at the children.
+    ``top`` adds client connection overhead (only the root faces users).
+    """
+    k = len(children)
+    cost = p.aggregate_cpu_coeff * (k ** p.aggregate_cpu_exp)
+
+    def sub_call(child: Service, payload: _t.Any) -> _t.Generator:
+        value = yield from call(sim, net, host, child, payload, size=512)
+        return value
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(cost)
+        workers = [
+            sim.spawn(sub_call(child, request.payload), name=f"fan:{child.name}")
+            for child in children
+        ]
+        yield sim.all_of(workers)
+        entries = sum(w.value["entries"] for w in workers if w.ok and isinstance(w.value, dict))
+        size = sum(w.value["size"] for w in workers if w.ok and isinstance(w.value, dict))
+        return Response(
+            value={"entries": entries, "size": max(size, 512)}, size=max(size, 512)
+        )
+
+    return Service(
+        sim,
+        net,
+        host,
+        label,
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead if top else None,
+    )
+
+
 # -- Hawkeye -------------------------------------------------------------
 
 
+@_factory(System.HAWKEYE, (Role.INFORMATION_SERVER, "default"))
 def make_agent_service(
     sim: Simulator, net: Network, host: Host, agent: Agent, p: AgentParams
 ) -> Service:
@@ -279,9 +380,7 @@ def make_agent_service(
         hold = p.fetch_quad_coeff * (m * m) * (1.0 + p.convoy_coeff * startd_mutex.queue_length)
         yield startd_mutex.acquire()
         try:
-            cpu_part = hold * p.fetch_cpu_fraction
-            yield host.compute(cpu_part)
-            yield sim.timeout(hold - cpu_part)
+            yield from busy_split(sim, host, hold, p.fetch_cpu_fraction)
             answer = agent.query(now=sim.now)
         finally:
             startd_mutex.release()
@@ -302,6 +401,7 @@ def make_agent_service(
     )
 
 
+@_factory(System.HAWKEYE, (Role.DIRECTORY_SERVER, "default"))
 def make_manager_directory_service(
     sim: Simulator, net: Network, host: Host, manager: Manager, p: ManagerParams
 ) -> Service:
@@ -333,6 +433,7 @@ def make_manager_directory_service(
     )
 
 
+@_factory(System.HAWKEYE, (Role.AGGREGATE_INFORMATION_SERVER, "default"))
 def make_manager_aggregate_service(
     sim: Simulator,
     net: Network,
@@ -376,6 +477,11 @@ def make_manager_aggregate_service(
     return service, lock
 
 
+@_factory(
+    System.HAWKEYE,
+    (Role.AGGREGATE_INFORMATION_SERVER, "ingest"),
+    (Role.DIRECTORY_SERVER, "ingest"),
+)
 def make_manager_ingest_service(
     sim: Simulator,
     net: Network,
@@ -388,7 +494,7 @@ def make_manager_ingest_service(
 
     def handler(service: Service, request: Request) -> _t.Generator:
         yield host.compute(p.ad_ingest_cpu)
-        yield from _held(sim, host, collector_mutex, p.ad_ingest_hold, cpu_fraction=1.0)
+        yield from held(sim, host, collector_mutex, p.ad_ingest_hold, cpu_fraction=1.0)
         ad = request.payload["ad"]
         manager.receive_ad(ad, now=sim.now)
         return Response(value={"ok": True}, size=64)
@@ -404,9 +510,55 @@ def make_manager_ingest_service(
     )
 
 
+@_factory(System.HAWKEYE, (Role.AGGREGATE_INFORMATION_SERVER, "fanout"))
+def make_manager_fanout_service(
+    sim: Simulator,
+    net: Network,
+    host: Host,
+    children: _t.Sequence[Service],
+    p: ManagerParams,
+    *,
+    label: str = "manager:top",
+    top: bool = True,
+) -> Service:
+    """An interior Manager forwarding constraint scans to child Managers.
+
+    Each child scans its own pool concurrently; this node only merges
+    the k child answers (CPU-cheap, like the directory path).
+    """
+    k = len(children)
+
+    def sub_call(child: Service, payload: _t.Any) -> _t.Generator:
+        value = yield from call(sim, net, host, child, payload, size=p.request_size)
+        return value
+
+    def handler(service: Service, request: Request) -> _t.Generator:
+        yield host.compute(p.cpu_per_query * max(1, k))
+        workers = [
+            sim.spawn(sub_call(child, request.payload), name=f"fan:{child.name}")
+            for child in children
+        ]
+        yield sim.all_of(workers)
+        ads = sum(w.value["ads"] for w in workers if w.ok and isinstance(w.value, dict))
+        scanned = sum(w.value["scanned"] for w in workers if w.ok and isinstance(w.value, dict))
+        return Response(value={"ads": ads, "scanned": scanned}, size=512)
+
+    return Service(
+        sim,
+        net,
+        host,
+        label,
+        handler,
+        max_threads=p.max_threads,
+        backlog=p.backlog,
+        conn_overhead=p.conn_overhead if top else None,
+    )
+
+
 # -- R-GMA ----------------------------------------------------------------
 
 
+@_factory(System.RGMA, (Role.INFORMATION_SERVER, "default"))
 def make_producer_servlet_service(
     sim: Simulator, net: Network, host: Host, servlet: ProducerServlet, p: ProducerServletParams
 ) -> Service:
@@ -423,7 +575,7 @@ def make_producer_servlet_service(
         hold = p.db_hold_linear * m + p.db_hold_quad * (m * m)
         # Lock-convoy degradation past the saturation threshold (Figs 5, 7).
         hold *= 1.0 + p.convoy_coeff * db_mutex.queue_length
-        yield from _held(sim, host, db_mutex, hold, p.db_cpu_fraction)
+        yield from held(sim, host, db_mutex, hold, p.db_cpu_fraction)
         sql = "SELECT * FROM cpuLoad"
         if isinstance(request.payload, dict):
             sql = request.payload.get("sql", sql)
@@ -445,6 +597,7 @@ def make_producer_servlet_service(
     )
 
 
+@_factory(System.RGMA, (Role.INFORMATION_SERVER, "mediator"))
 def make_consumer_servlet_service(
     sim: Simulator,
     net: Network,
@@ -467,7 +620,7 @@ def make_consumer_servlet_service(
 
     def handler(service: Service, request: Request) -> _t.Generator:
         yield host.compute(p.cpu_per_query)
-        yield from _held(sim, host, mediation_mutex, p.mediation_hold, cpu_fraction=1.0)
+        yield from held(sim, host, mediation_mutex, p.mediation_hold, cpu_fraction=1.0)
         value = yield from call(
             sim, net, host, ps_service, request.payload, size=p.request_size, retry=retry
         )
@@ -484,6 +637,7 @@ def make_consumer_servlet_service(
     )
 
 
+@_factory(System.RGMA, (Role.DIRECTORY_SERVER, "default"))
 def make_registry_service(
     sim: Simulator, net: Network, host: Host, registry: Registry, p: RegistryParams
 ) -> Service:

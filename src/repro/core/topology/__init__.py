@@ -1,0 +1,55 @@
+"""Declarative topology / deployment plane (Table 1 as code).
+
+An experiment is a :class:`DeploymentPlan` — typed node specs keyed by
+the paper's four functional roles, explicit registration / aggregation
+/ mediation edges, and placement onto the Lucky/UC testbed — compiled
+by a per-system :class:`SystemAdapter` into the repo's functional
+objects and :class:`~repro.sim.rpc.Service` instances.
+
+Importing this package registers the MDS, R-GMA and Hawkeye adapters.
+"""
+
+from repro.core.topology.adapters import (
+    ADAPTERS,
+    CompileHooks,
+    Deployment,
+    SystemAdapter,
+    compile_plan,
+    register_adapter,
+    resolve_host,
+)
+from repro.core.topology.plan import (
+    AggregateSpec,
+    CollectorSpec,
+    DeploymentPlan,
+    DirectorySpec,
+    Edge,
+    EdgeKind,
+    NodeSpec,
+    PlanError,
+    ServerSpec,
+)
+
+# Importing the system modules registers their adapters.
+from repro.core.topology import hawkeye as _hawkeye  # noqa: F401
+from repro.core.topology import mds as _mds  # noqa: F401
+from repro.core.topology import rgma as _rgma  # noqa: F401
+
+__all__ = [
+    "ADAPTERS",
+    "AggregateSpec",
+    "CollectorSpec",
+    "CompileHooks",
+    "Deployment",
+    "DeploymentPlan",
+    "DirectorySpec",
+    "Edge",
+    "EdgeKind",
+    "NodeSpec",
+    "PlanError",
+    "ServerSpec",
+    "SystemAdapter",
+    "compile_plan",
+    "register_adapter",
+    "resolve_host",
+]

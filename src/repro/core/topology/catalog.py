@@ -1,0 +1,522 @@
+"""Canonical deployment plans: every scenario the paper runs, declared.
+
+Each function returns the :class:`DeploymentPlan` behind one figure
+series (or one of the repo's extension scenarios).  The experiment
+drivers compile these — node names, seeds, labels and edge order are
+chosen so a compiled deployment is event-for-event identical to the
+hand-written wiring they replaced.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.core.components import System
+from repro.core.testbed import LUCKY_NAMES
+from repro.core.topology.plan import (
+    AggregateSpec,
+    CollectorSpec,
+    DeploymentPlan,
+    DirectorySpec,
+    Edge,
+    EdgeKind,
+    NodeSpec,
+    ServerSpec,
+)
+
+__all__ = [
+    "exp1_plan",
+    "exp2_plan",
+    "exp3_plan",
+    "exp4_plan",
+    "registration_fault_plan",
+    "advertise_fault_plan",
+    "two_level_plan",
+    "hierarchy_plan",
+    "sharded_registry_plan",
+    "catalog_entries",
+]
+
+# The GRIS nodes of the paper testbed (GIIS runs on lucky0).
+GRIS_NODES = ("lucky3", "lucky4", "lucky5", "lucky6", "lucky7")
+# The ProducerServlet nodes of §3.4 (Registry runs on lucky1).
+RGMA_PS_NODES = ("lucky0", "lucky3", "lucky4", "lucky5", "lucky6")
+
+
+# -- Experiment 1 / 3: information servers --------------------------------
+
+
+def _gris_plan(name: str, collectors: int, cached: bool, seed: int) -> DeploymentPlan:
+    nodes = (
+        CollectorSpec("providers", count=collectors),
+        ServerSpec(
+            "gris", host="lucky7", seed=seed, cached=cached, primed=cached,
+            fault_target=True,
+        ),
+    )
+    edges = (Edge(EdgeKind.COLLECTION, "providers", "gris"),)
+    return DeploymentPlan(
+        System.MDS, name, nodes, edges, entry="gris",
+        description=f"GRIS on lucky7, {collectors} providers, "
+        f"data {'always' if cached else 'never'} cached",
+    )
+
+
+def _agent_plan(name: str, modules: int, seed: int) -> DeploymentPlan:
+    nodes = (
+        CollectorSpec("modules", count=modules),
+        ServerSpec("agent", host="lucky4", seed=seed, fault_target=True),
+    )
+    edges = (Edge(EdgeKind.COLLECTION, "modules", "agent"),)
+    return DeploymentPlan(
+        System.HAWKEYE, name, nodes, edges, entry="agent",
+        description=f"Hawkeye Agent on lucky4 with {modules} modules",
+    )
+
+
+def _ps_base(collectors: int, seed: int) -> tuple[list[NodeSpec], list[Edge]]:
+    """The R-GMA producer side: PS on lucky3, Registry on lucky1."""
+    nodes: list[NodeSpec] = [
+        CollectorSpec("producers", count=collectors, seed=seed),
+        ServerSpec(
+            "ps", host="lucky3", primed=True, fault_target=True,
+            options={"servlet_name": "lucky3-ps", "publisher": True},
+        ),
+        DirectorySpec(
+            "registry", host="lucky1", expose=False, tracked=False,
+            options={"registry_name": "lucky1"},
+        ),
+    ]
+    edges: list[Edge] = [
+        Edge(EdgeKind.COLLECTION, "producers", "ps"),
+        Edge(EdgeKind.REGISTRATION, "ps", "registry", {"lease": 1e9}),
+    ]
+    return nodes, edges
+
+
+def exp1_plan(system: str, seed: int = 1) -> DeploymentPlan:
+    """The Figure 5-8 deployments (§3.3), one per legend entry."""
+    if system == "mds-gris-cache":
+        return _gris_plan("exp1-mds-gris-cache", 10, True, seed)
+    if system == "mds-gris-nocache":
+        return _gris_plan("exp1-mds-gris-nocache", 10, False, seed)
+    if system == "hawkeye-agent":
+        return _agent_plan("exp1-hawkeye-agent", 11, seed)
+    nodes, edges = _ps_base(10, seed)
+    if system == "rgma-ps-uc":
+        nodes.append(
+            ServerSpec("cs", host="uc:0", variant="mediator", options={"cs_name": "uc-cs"})
+        )
+        edges.append(Edge(EdgeKind.MEDIATION, "cs", "ps"))
+        return DeploymentPlan(
+            System.RGMA, "exp1-rgma-ps-uc", tuple(nodes), tuple(edges), entry="cs",
+            description="ProducerServlet on lucky3, one ConsumerServlet at UC",
+        )
+    if system == "rgma-ps-lucky":
+        for name in LUCKY_NAMES:
+            if name == "lucky3":
+                continue
+            nodes.append(
+                ServerSpec(
+                    f"cs-{name}", host=name, variant="mediator", tracked=False,
+                    options={"cs_name": f"{name}-cs"},
+                )
+            )
+            edges.append(Edge(EdgeKind.MEDIATION, f"cs-{name}", "ps"))
+        return DeploymentPlan(
+            System.RGMA, "exp1-rgma-ps-lucky", tuple(nodes), tuple(edges), entry="ps",
+            description="ProducerServlet on lucky3, a ConsumerServlet per Lucky node",
+        )
+    raise ValueError(f"unknown exp1 system {system!r}")
+
+
+def exp3_plan(system: str, collectors: int, seed: int = 1) -> DeploymentPlan:
+    """The Figure 13-16 deployments (§3.5): collector count on the x-axis."""
+    if system == "mds-gris-cache":
+        return _gris_plan(f"exp3-mds-gris-cache-{collectors}", collectors, True, seed)
+    if system == "mds-gris-nocache":
+        return _gris_plan(f"exp3-mds-gris-nocache-{collectors}", collectors, False, seed)
+    if system == "hawkeye-agent":
+        return _agent_plan(f"exp3-hawkeye-agent-{collectors}", collectors, seed)
+    if system == "rgma-ps":
+        nodes, edges = _ps_base(collectors, seed)
+        return DeploymentPlan(
+            System.RGMA, f"exp3-rgma-ps-{collectors}", tuple(nodes), tuple(edges),
+            entry="ps", description="ProducerServlet on lucky3, queried directly",
+        )
+    raise ValueError(f"unknown exp3 system {system!r}")
+
+
+# -- Experiment 2: directory servers --------------------------------------
+
+
+def exp2_plan(system: str, seed: int = 1) -> DeploymentPlan:
+    """The Figure 9-12 deployments (§3.4)."""
+    if system == "mds-giis":
+        nodes: list[NodeSpec] = [CollectorSpec("providers", count=10)]
+        edges: list[Edge] = []
+        for i, node in enumerate(GRIS_NODES):
+            nodes.append(
+                ServerSpec(node, host=node, seed=seed * 101 + i, expose=False, tracked=False)
+            )
+            edges.append(Edge(EdgeKind.COLLECTION, "providers", node))
+            edges.append(Edge(EdgeKind.REGISTRATION, node, "giis", {"ttl": 1e12}))
+        nodes.append(
+            DirectorySpec(
+                "giis", host="lucky0", primed=True, fault_target=True,
+                options={"giis_name": "lucky0"},
+            )
+        )
+        return DeploymentPlan(
+            System.MDS, "exp2-mds-giis", tuple(nodes), tuple(edges), entry="giis",
+            description="GIIS on lucky0 with a GRIS on each of lucky3-7 registered",
+        )
+    if system == "hawkeye-manager":
+        nodes = [
+            DirectorySpec(
+                "manager", host="lucky3", fault_target=True,
+                options={"manager_name": "lucky3"},
+            )
+        ]
+        edges = []
+        for i, node in enumerate(n for n in LUCKY_NAMES if n != "lucky3"):
+            nodes.append(
+                ServerSpec(node, host=node, seed=seed * 77 + i, expose=False, tracked=False)
+            )
+            edges.append(Edge(EdgeKind.REGISTRATION, node, "manager", {"mode": "local"}))
+        return DeploymentPlan(
+            System.HAWKEYE, "exp2-hawkeye-manager", tuple(nodes), tuple(edges),
+            entry="manager",
+            description="Manager on lucky3, six Agents advertising every 30 s",
+        )
+    if system in ("rgma-registry-lucky", "rgma-registry-uc"):
+        nodes = [
+            DirectorySpec(
+                "registry", host="lucky1", fault_target=True,
+                options={"registry_name": "lucky1"},
+            )
+        ]
+        edges = []
+        for i, node in enumerate(RGMA_PS_NODES):
+            nodes.append(CollectorSpec(f"{node}-producers", count=10, seed=seed * 31 + i))
+            nodes.append(ServerSpec(f"{node}-ps", host=node, expose=False, tracked=False))
+            edges.append(Edge(EdgeKind.COLLECTION, f"{node}-producers", f"{node}-ps"))
+            edges.append(Edge(EdgeKind.REGISTRATION, f"{node}-ps", "registry", {"lease": 1e9}))
+        return DeploymentPlan(
+            System.RGMA, f"exp2-{system}", tuple(nodes), tuple(edges), entry="registry",
+            description="Registry on lucky1, five ProducerServlets x 10 producers",
+        )
+    raise ValueError(f"unknown exp2 system {system!r}")
+
+
+# -- Experiment 4: aggregate information servers ---------------------------
+
+
+def exp4_plan(system: str, servers: int, seed: int = 1) -> DeploymentPlan:
+    """The Figure 17-20 deployments (§3.6): registrant count on the x-axis."""
+    if system in ("mds-giis-all", "mds-giis-part"):
+        nodes = (
+            CollectorSpec("providers", count=10),
+            ServerSpec(
+                "gris-bank", replicas=servers, seed=seed * 7919, expose=False,
+                tracked=False,
+                options={
+                    "hosts": [n for n in LUCKY_NAMES if n != "lucky0"],
+                    "hostname_format": "{node}-inst{i}.mcs.anl.gov",
+                },
+            ),
+            AggregateSpec(
+                "giis", host="lucky0", primed=True,
+                query_part=system.endswith("part"), fault_target=True,
+                options={"giis_name": "lucky0"},
+            ),
+        )
+        edges = (
+            Edge(EdgeKind.COLLECTION, "providers", "gris-bank"),
+            Edge(
+                EdgeKind.REGISTRATION, "gris-bank", "giis",
+                {"label_format": "gris{i}", "ttl": 1e12},
+            ),
+        )
+        return DeploymentPlan(
+            System.MDS, f"exp4-{system}-{servers}", nodes, edges, entry="giis",
+            description=f"GIIS on lucky0 with {servers} simulated GRIS registered",
+        )
+    if system == "hawkeye-manager":
+        nodes = (
+            AggregateSpec(
+                "manager", host="lucky3", fault_target=True,
+                options={"manager_name": "lucky3"},
+            ),
+            ServerSpec(
+                "pool", replicas=servers, expose=False, tracked=False,
+                options={
+                    "synthetic": True,
+                    "machine_format": "sim{i:04d}.pool",
+                    "hosts": [n for n in LUCKY_NAMES if n != "lucky3"],
+                },
+            ),
+        )
+        edges = (
+            Edge(
+                EdgeKind.AGGREGATION, "pool", "manager",
+                {"mode": "wire", "offset_stream": ("advertisers", str(servers))},
+            ),
+        )
+        return DeploymentPlan(
+            System.HAWKEYE, f"exp4-hawkeye-manager-{servers}", nodes, edges,
+            entry="manager",
+            description=f"Manager on lucky3, {servers} machines advertising every 30 s",
+        )
+    raise ValueError(f"unknown exp4 system {system!r}")
+
+
+# -- fault-experiment control planes ---------------------------------------
+
+
+def registration_fault_plan(
+    seed: int = 1, *, interval: float = 2.5, ttl: float = 6.0
+) -> DeploymentPlan:
+    """GIIS with five GRIS keeping soft-state leases alive over the wire."""
+    nodes: list[NodeSpec] = [CollectorSpec("providers", count=10)]
+    edges: list[Edge] = []
+    for i, node in enumerate(GRIS_NODES):
+        nodes.append(
+            ServerSpec(node, host=node, seed=seed * 101 + i, expose=False, tracked=False)
+        )
+        edges.append(Edge(EdgeKind.COLLECTION, "providers", node))
+        edges.append(
+            Edge(
+                EdgeKind.REGISTRATION, node, "giis",
+                {"soft_state": True, "interval": interval, "ttl": ttl},
+            )
+        )
+    nodes.append(
+        DirectorySpec(
+            "giis", host="lucky0", primed=True, fault_target=True,
+            options={"giis_name": "lucky0"},
+        )
+    )
+    return DeploymentPlan(
+        System.MDS, "faults-mds-registration", tuple(nodes), tuple(edges), entry="giis",
+        description="GIIS directory queries while GRIS renew soft-state leases",
+    )
+
+
+def advertise_fault_plan(seed: int = 1, *, interval: float = 10.0) -> DeploymentPlan:
+    """Manager with six Agents pushing Startd ads through its ingest path."""
+    nodes: list[NodeSpec] = [
+        DirectorySpec(
+            "manager", host="lucky3", fault_target=True,
+            options={"manager_name": "lucky3"},
+        )
+    ]
+    edges: list[Edge] = []
+    for i, node in enumerate(n for n in LUCKY_NAMES if n != "lucky3"):
+        nodes.append(
+            ServerSpec(node, host=node, seed=seed * 77 + i, expose=False, tracked=False)
+        )
+        edges.append(
+            Edge(
+                EdgeKind.REGISTRATION, node, "manager",
+                {"mode": "resilient", "interval": interval},
+            )
+        )
+    return DeploymentPlan(
+        System.HAWKEYE, "faults-hawkeye-advertise", tuple(nodes), tuple(edges),
+        entry="manager",
+        description="Manager directory queries while Agents advertise over the wire",
+    )
+
+
+# -- hierarchies (§3.6's suggested fix, and the scale sweep) ---------------
+
+
+def two_level_plan(registrants: int, seed: int = 1) -> DeploymentPlan:
+    """§4's two-level GIIS tree: ~sqrt(N) mids, each over ~sqrt(N) GRIS."""
+    fan = max(2, round(math.sqrt(registrants)))
+    mid_nodes = [n for n in LUCKY_NAMES if n != "lucky0"]
+    nodes: list[NodeSpec] = []
+    edges: list[Edge] = []
+    assigned = 0
+    i = 0
+    while assigned < registrants:
+        share = min(fan, registrants - assigned)
+        bank = f"mid{i}-gris"
+        nodes.append(
+            ServerSpec(
+                bank, replicas=share, seed=seed * 131, expose=False, tracked=False,
+                options={"hostname_format": f"mid{i}-gris{{i}}"},
+            )
+        )
+        nodes.append(
+            AggregateSpec(
+                f"mid{i}", host=mid_nodes[i % len(mid_nodes)], variant="leaf",
+                primed=True, tracked=False, options={"giis_name": f"mid{i}"},
+            )
+        )
+        edges.append(
+            Edge(
+                EdgeKind.REGISTRATION, bank, f"mid{i}",
+                {"label_format": f"mid{i}-g{{i}}", "ttl": 1e12},
+            )
+        )
+        edges.append(Edge(EdgeKind.AGGREGATION, f"mid{i}", "top"))
+        assigned += share
+        i += 1
+    nodes.append(
+        AggregateSpec("top", host="lucky0", variant="fanout", options={"label": "giis:top"})
+    )
+    return DeploymentPlan(
+        System.MDS, f"two-level-giis-{registrants}", tuple(nodes), tuple(edges),
+        entry="top",
+        description=f"Two-level GIIS tree over {registrants} GRIS ({i} mids, fan ~{fan})",
+    )
+
+
+def hierarchy_plan(system: str, depth: int, fanout: int, seed: int = 1) -> DeploymentPlan:
+    """An N-level aggregate tree: ``fanout**depth`` info servers total.
+
+    ``depth`` counts aggregate levels: leaves aggregate ``fanout`` info
+    servers each; interior nodes fan out to ``fanout`` child aggregates.
+    MDS builds a GIIS tree (top on lucky0), Hawkeye a Manager tree (top
+    on lucky3).  R-GMA has no aggregate information server (Table 1).
+    """
+    if system not in ("mds", "hawkeye"):
+        raise ValueError(f"hierarchies exist for 'mds' and 'hawkeye', not {system!r}")
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be >= 1")
+    top_host = "lucky0" if system == "mds" else "lucky3"
+    pool = [n for n in LUCKY_NAMES if n != top_host]
+    nodes: list[NodeSpec] = []
+    edges: list[Edge] = []
+    counters = {"agg": 0, "place": 0}
+
+    def place() -> str:
+        host = pool[counters["place"] % len(pool)]
+        counters["place"] += 1
+        return host
+
+    def build(level: int, top: bool = False) -> str:
+        i = counters["agg"]
+        counters["agg"] += 1
+        name = "top" if top else f"agg{i}"
+        host = top_host if top else place()
+        if level == depth:  # a leaf aggregate over `fanout` info servers
+            if system == "mds":
+                bank = f"{name}-gris"
+                nodes.append(
+                    ServerSpec(
+                        bank, replicas=fanout, seed=seed * 131 + 1000 * i,
+                        expose=False, tracked=False,
+                        options={"hostname_format": f"{name}-gris{{i}}"},
+                    )
+                )
+                nodes.append(
+                    AggregateSpec(
+                        name, host=host, variant="leaf", primed=True, tracked=top,
+                        options={"giis_name": name},
+                    )
+                )
+                edges.append(
+                    Edge(
+                        EdgeKind.REGISTRATION, bank, name,
+                        {"label_format": f"{name}-g{{i}}", "ttl": 1e12},
+                    )
+                )
+            else:
+                for j in range(fanout):
+                    agent = f"{name}-a{j}"
+                    nodes.append(
+                        ServerSpec(
+                            agent, seed=seed * 77 + 100 * i + j,
+                            expose=False, tracked=False,
+                            options={"agent_machine": f"{name}-m{j}.pool"},
+                        )
+                    )
+                    edges.append(Edge(EdgeKind.REGISTRATION, agent, name))
+                nodes.append(
+                    AggregateSpec(
+                        name, host=host, tracked=top, options={"manager_name": name}
+                    )
+                )
+            return name
+        children = [build(level + 1) for _ in range(fanout)]
+        prefix = "giis:" if system == "mds" else "manager:"
+        nodes.append(
+            AggregateSpec(
+                name, host=host, variant="fanout", tracked=top,
+                options={"label": prefix + name},
+            )
+        )
+        for child in children:
+            edges.append(Edge(EdgeKind.AGGREGATION, child, name))
+        return name
+
+    build(1, top=True)
+    plan_system = System.MDS if system == "mds" else System.HAWKEYE
+    return DeploymentPlan(
+        plan_system, f"hierarchy-{system}-d{depth}f{fanout}", tuple(nodes), tuple(edges),
+        entry="top",
+        description=f"{depth}-level {system} aggregate tree, fan-out {fanout} "
+        f"({fanout ** depth} info servers)",
+    )
+
+
+# -- illustrative extras ----------------------------------------------------
+
+
+def sharded_registry_plan(
+    shards: int = 3, servlets_per_shard: int = 4, seed: int = 1
+) -> DeploymentPlan:
+    """An R-GMA Registry split into shards, ProducerServlets spread over them."""
+    shard_hosts = ("lucky1", "lucky5", "lucky6")
+    nodes: list[NodeSpec] = []
+    edges: list[Edge] = []
+    for s in range(shards):
+        nodes.append(
+            DirectorySpec(
+                f"registry{s}", host=shard_hosts[s % len(shard_hosts)],
+                options={"registry_name": f"registry{s}"},
+            )
+        )
+    idx = 0
+    for s in range(shards):
+        for _ in range(servlets_per_shard):
+            node = LUCKY_NAMES[idx % len(LUCKY_NAMES)]
+            name = f"ps{idx}"
+            nodes.append(CollectorSpec(f"{name}-producers", count=10, seed=seed * 31 + idx))
+            nodes.append(ServerSpec(name, host=node, expose=False, tracked=False))
+            edges.append(Edge(EdgeKind.COLLECTION, f"{name}-producers", name))
+            edges.append(
+                Edge(EdgeKind.REGISTRATION, name, f"registry{s}", {"lease": 1e9})
+            )
+            idx += 1
+    return DeploymentPlan(
+        System.RGMA, f"sharded-registry-{shards}x{servlets_per_shard}",
+        tuple(nodes), tuple(edges), entry="registry0",
+        description=f"{shards} Registry shards, {servlets_per_shard} servlets each",
+    )
+
+
+def catalog_entries() -> dict[str, _t.Callable[[], DeploymentPlan]]:
+    """Named plans for the ``repro-topology`` CLI."""
+    out: dict[str, _t.Callable[[], DeploymentPlan]] = {}
+    for system in ("mds-gris-cache", "mds-gris-nocache", "hawkeye-agent",
+                   "rgma-ps-lucky", "rgma-ps-uc"):
+        out[f"exp1-{system}"] = (lambda s=system: exp1_plan(s))
+    for system in ("mds-giis", "hawkeye-manager", "rgma-registry-lucky",
+                   "rgma-registry-uc"):
+        out[f"exp2-{system}"] = (lambda s=system: exp2_plan(s))
+    for system in ("mds-gris-cache", "mds-gris-nocache", "hawkeye-agent", "rgma-ps"):
+        out[f"exp3-{system}-50"] = (lambda s=system: exp3_plan(s, 50))
+    for system in ("mds-giis-all", "mds-giis-part", "hawkeye-manager"):
+        out[f"exp4-{system}-100"] = (lambda s=system: exp4_plan(s, 100))
+    out["faults-mds-registration"] = registration_fault_plan
+    out["faults-hawkeye-advertise"] = advertise_fault_plan
+    out["two-level-giis-100"] = (lambda: two_level_plan(100))
+    out["paper-testbed"] = (lambda: exp2_plan("mds-giis"))
+    out["deep-hierarchy"] = (lambda: hierarchy_plan("mds", 3, 4))
+    out["sharded-registry"] = sharded_registry_plan
+    return out

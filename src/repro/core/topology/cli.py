@@ -1,0 +1,111 @@
+"""``repro-topology`` — inspect, export and validate deployment plans.
+
+Subcommands:
+
+* ``list``                 — the catalog of named plans;
+* ``show NAME|FILE``       — validate and pretty-print one plan;
+* ``plan NAME [-o FILE]``  — export a catalog plan as a ``.plan`` JSON file;
+* ``check FILE...``        — validate plan files (the CI step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+from pathlib import Path
+
+from repro.core.topology import catalog, planfile
+from repro.core.topology.plan import DeploymentPlan, PlanError
+
+__all__ = ["main"]
+
+
+def _resolve(name: str) -> DeploymentPlan:
+    entries = catalog.catalog_entries()
+    if name in entries:
+        return entries[name]()
+    path = Path(name)
+    if path.exists():
+        return planfile.load(path)
+    raise PlanError(
+        f"{name!r} is neither a catalog plan nor a file; "
+        f"try 'repro-topology list'"
+    )
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    entries = catalog.catalog_entries()
+    width = max(len(name) for name in entries)
+    for name, thunk in entries.items():
+        plan = thunk()
+        print(f"{name:<{width}}  [{plan.system.value}] {plan.description}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    plan = _resolve(args.name)
+    plan.validate()
+    print(plan.describe())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = _resolve(args.name)
+    plan.validate()
+    text = planfile.dumps(plan)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.paths:
+        try:
+            plan = planfile.load(path)
+            plan.validate()
+        except (PlanError, OSError) as exc:
+            failures += 1
+            print(f"FAIL {path}: {exc}")
+        else:
+            print(
+                f"ok   {path}: {plan.name} [{plan.system.value}] "
+                f"{len(plan.nodes)} nodes, {len(plan.edges)} edges"
+            )
+    return 1 if failures else 0
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-topology",
+        description="Inspect, export and validate declarative deployment plans.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the catalog of named plans")
+    p_show = sub.add_parser("show", help="validate and pretty-print one plan")
+    p_show.add_argument("name", help="catalog name or .plan file path")
+    p_plan = sub.add_parser("plan", help="export a catalog plan as JSON")
+    p_plan.add_argument("name", help="catalog name or .plan file path")
+    p_plan.add_argument("-o", "--output", help="write to this file instead of stdout")
+    p_check = sub.add_parser("check", help="validate plan files")
+    p_check.add_argument("paths", nargs="+", help=".plan files to validate")
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "plan": _cmd_plan,
+        "check": _cmd_check,
+    }[args.command]
+    try:
+        return handler(args)
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,257 @@
+"""The Hawkeye adapter: plans onto Agent/Manager, ClassAd advertising.
+
+The Manager plays both the aggregate and the directory role (Table 1);
+its data plane is push-based, so the plan's edges compile into three
+advertising styles:
+
+* ``mode="local"`` — the Experiment-2 control plane: registered Agents
+  synthesize Startd ads and hand them to a co-resident collector;
+* ``mode="wire"`` — Experiment 4's ``hawkeye_advertise`` traffic:
+  synthetic machine banks push ads through the Manager's ingest
+  service at 30-second intervals;
+* ``mode="resilient"`` — the fault experiments: advertisers carry a
+  retry policy and delivery stats through Manager outages.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.components import Role, System
+from repro.core.runner import ScenarioRun
+from repro.core.services import service_factory
+from repro.core.topology.adapters import (
+    CompileHooks,
+    Deployment,
+    PlanError,
+    SystemAdapter,
+    register_adapter,
+    resolve_host,
+)
+from repro.core.topology.plan import (
+    AggregateSpec,
+    CollectorSpec,
+    DeploymentPlan,
+    DirectorySpec,
+    Edge,
+    EdgeKind,
+    ServerSpec,
+)
+from repro.hawkeye.advertise import synthesize_startd_ad
+from repro.hawkeye.agent import Agent
+from repro.hawkeye.manager import Manager
+from repro.hawkeye.modules import make_default_modules, replicated_modules
+from repro.hawkeye.resilience import AdvertiserStats, resilient_advertiser
+from repro.sim.resources import Mutex
+from repro.sim.rpc import Service, call
+
+__all__ = ["HawkeyeAdapter"]
+
+
+def _advertise_edges(plan: DeploymentPlan, name: str) -> list[Edge]:
+    """Incoming edges that carry ads over the wire (need an ingest path)."""
+    return [
+        e
+        for e in plan.edges_to(name)
+        if e.kind in (EdgeKind.REGISTRATION, EdgeKind.AGGREGATION)
+        and e.options.get("mode") in ("wire", "resilient")
+    ]
+
+
+@register_adapter
+class HawkeyeAdapter(SystemAdapter):
+    system = System.HAWKEYE
+
+    def materialize(self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment) -> None:
+        for spec in plan.nodes:
+            if isinstance(spec, (AggregateSpec, DirectorySpec)):
+                if spec.variant == "fanout":
+                    continue
+                dep.objects[spec.name] = Manager(
+                    spec.options.get("manager_name", spec.name)
+                )
+            elif isinstance(spec, ServerSpec) and not spec.options.get("synthetic"):
+                dep.objects[spec.name] = Agent(
+                    spec.options.get("agent_machine", f"{spec.host}.mcs.anl.gov"),
+                    self._modules(plan, spec),
+                    seed=spec.seed,
+                )
+
+    def _modules(self, plan: DeploymentPlan, spec: ServerSpec) -> list:
+        for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
+            collector = plan.node(edge.source)
+            assert isinstance(collector, CollectorSpec)
+            if collector.flavor == "default":
+                return make_default_modules()
+            return replicated_modules(collector.count)
+        return make_default_modules()
+
+    def connect(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        for edge in plan.edges:
+            if edge.kind is not EdgeKind.REGISTRATION:
+                continue
+            agent: Agent = dep.objects[edge.source]
+            manager: Manager = dep.objects[edge.target]
+            manager.register_agent(agent)
+            ad, _ = agent.make_startd_ad(now=0.0)
+            manager.receive_ad(ad, now=0.0)  # pool is warm at t=0
+
+    def expose(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        p = run.params.manager
+        for spec in plan.nodes:
+            if not spec.expose or isinstance(spec, CollectorSpec):
+                continue
+            host = self.node_host(run, spec)
+            if isinstance(spec, ServerSpec):
+                factory = service_factory(self.system, Role.INFORMATION_SERVER, spec.variant)
+                dep.services[spec.name] = factory(
+                    run.sim, run.net, host, dep.objects[spec.name], run.params.agent
+                )
+                continue
+            if isinstance(spec, AggregateSpec) and spec.variant == "fanout":
+                children = [
+                    dep.services[e.source]
+                    for e in plan.edges_to(spec.name, EdgeKind.AGGREGATION)
+                ]
+                if not children:
+                    raise PlanError(f"fanout node {spec.name!r} has no aggregation edges")
+                factory = service_factory(
+                    self.system, Role.AGGREGATE_INFORMATION_SERVER, "fanout"
+                )
+                dep.services[spec.name] = factory(
+                    run.sim,
+                    run.net,
+                    host,
+                    children,
+                    p,
+                    label=spec.options.get("label", f"manager:{spec.name}"),
+                    top=spec.name == plan.entry,
+                )
+                continue
+            manager = dep.objects[spec.name]
+            needs_ingest = bool(_advertise_edges(plan, spec.name))
+            if isinstance(spec, AggregateSpec):
+                factory = service_factory(
+                    self.system, Role.AGGREGATE_INFORMATION_SERVER, spec.variant
+                )
+                service, lock = factory(run.sim, run.net, host, manager, p)
+                dep.services[spec.name] = service
+            else:
+                factory = service_factory(self.system, Role.DIRECTORY_SERVER, spec.variant)
+                dep.services[spec.name] = factory(run.sim, run.net, host, manager, p)
+                lock = Mutex(run.sim, name=f"manager:{manager.name}:collector")
+            if needs_ingest:
+                ingest_factory = service_factory(
+                    self.system, Role.AGGREGATE_INFORMATION_SERVER, "ingest"
+                )
+                dep.services[f"{spec.name}:ingest"] = ingest_factory(
+                    run.sim, run.net, host, manager, p, lock
+                )
+
+    def activate(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        p = run.params.manager
+        for edge in plan.edges:
+            mode = edge.options.get("mode")
+            if edge.kind is EdgeKind.REGISTRATION and mode == "local":
+                self._spawn_local_advertiser(run, dep, edge, p)
+            elif edge.kind is EdgeKind.REGISTRATION and mode == "resilient":
+                self._spawn_resilient_advertiser(plan, run, dep, edge, hooks)
+            elif edge.kind is EdgeKind.AGGREGATION and mode == "wire":
+                self._spawn_wire_advertisers(plan, run, dep, edge, p)
+
+    def _spawn_local_advertiser(
+        self, run: ScenarioRun, dep: Deployment, edge: Edge, p: _t.Any
+    ) -> None:
+        """Experiment 2's in-process ad push (no wire, collector CPU only)."""
+        agent: Agent = dep.objects[edge.source]
+        manager: Manager = dep.objects[edge.target]
+        manager_host = self.node_host(run, dep.plan.node(edge.target))
+        interval = float(edge.options.get("interval", p.advertise_interval))
+        ingest_cpu = p.ad_ingest_cpu
+
+        def advertiser() -> _t.Generator:
+            while True:
+                yield run.sim.timeout(interval)
+                ad, _answer = agent.make_startd_ad(now=run.sim.now)
+                yield manager_host.compute(ingest_cpu)
+                manager.receive_ad(ad, run.sim.now)
+
+        run.sim.spawn(advertiser(), name=f"advertiser:{agent.machine}")
+
+    def _spawn_resilient_advertiser(
+        self,
+        plan: DeploymentPlan,
+        run: ScenarioRun,
+        dep: Deployment,
+        edge: Edge,
+        hooks: CompileHooks,
+    ) -> None:
+        if hooks.advertise_retry is None:
+            raise PlanError(
+                f"edge {edge.source}->{edge.target} wants resilient advertisers; "
+                "compile with an advertise_retry policy"
+            )
+        source = plan.node(edge.source)
+        agent: Agent = dep.objects[edge.source]
+        ingest = dep.services[f"{edge.target}:ingest"]
+        st = AdvertiserStats(last_delivered=0.0)
+        dep.extras.setdefault("advertiser_stats", []).append(st)
+        label = edge.options.get("label", source.host or edge.source)
+        run.sim.spawn(
+            resilient_advertiser(
+                run.sim,
+                run.net,
+                resolve_host(run, source.host or ""),
+                ingest,
+                agent,
+                interval=float(edge.options.get("interval", 30.0)),
+                retry=hooks.advertise_retry,
+                stats=st,
+            ),
+            name=f"resilient-adv:{label}",
+        )
+
+    def _spawn_wire_advertisers(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, edge: Edge, p: _t.Any
+    ) -> None:
+        """Experiment 4's hawkeye_advertise pushes from a synthetic bank."""
+        source = plan.node(edge.source)
+        manager: Manager = dep.objects[edge.target]
+        ingest: Service = dep.services[f"{edge.target}:ingest"]
+        placements = self.bank_placements(source)
+        machine_format = source.options.get("machine_format", source.name + "{i}")
+        interval = float(edge.options.get("interval", p.advertise_interval))
+        stream_key = edge.options.get("offset_stream", ("advertisers", source.name))
+        rng = run.rng.stream(*stream_key)
+
+        def advertiser(machine: str, host: _t.Any, offset: float) -> _t.Generator:
+            local_rng = run.rng.stream("ad", machine)
+            ad = synthesize_startd_ad(machine, local_rng, now=0.0)
+            manager.receive_ad(ad, now=0.0)  # pool is warm at t=0
+            yield run.sim.timeout(offset)
+            while True:
+                ad = synthesize_startd_ad(machine, local_rng, now=run.sim.now)
+                try:
+                    yield from call(
+                        run.sim,
+                        run.net,
+                        host,
+                        ingest,
+                        {"ad": ad},
+                        size=p.ad_wire_bytes,
+                    )
+                except Exception:
+                    pass  # a dropped ad is just a missed update
+                yield run.sim.timeout(interval)
+
+        for i in range(source.replicas):
+            machine = machine_format.format(i=i)
+            host = resolve_host(run, placements[i % len(placements)])
+            offset = float(rng.uniform(0.0, interval))
+            run.sim.spawn(advertiser(machine, host, offset), name=f"adv:{machine}")

@@ -1,0 +1,225 @@
+"""The MDS adapter: plans onto GRIS/GIIS, LDAP-style soft state.
+
+MDS realizes Table 1 with two components: the GRIS (information
+server; providers forked under slapd) and the GIIS, which plays both
+the aggregate and the directory role.  Registration edges become
+``giis.register`` soft-state entries; edges marked ``soft_state`` also
+get an over-the-wire registrar loop plus the GIIS's registration
+service and lease sweeper — the fault-experiment control plane.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.components import Role, System
+from repro.core.runner import ScenarioRun
+from repro.core.services import service_factory
+from repro.core.topology.adapters import (
+    CompileHooks,
+    Deployment,
+    PlanError,
+    SystemAdapter,
+    register_adapter,
+    resolve_host,
+)
+from repro.core.topology.plan import (
+    AggregateSpec,
+    CollectorSpec,
+    DeploymentPlan,
+    DirectorySpec,
+    EdgeKind,
+    NodeSpec,
+    ServerSpec,
+)
+from repro.mds.giis import GIIS
+from repro.mds.gris import GRIS
+from repro.mds.providers import replicated_providers
+from repro.mds.resilience import RegistrarStats, soft_state_registrar
+
+__all__ = ["MdsAdapter"]
+
+
+def _make_puller(gris: GRIS) -> _t.Callable[[float], tuple[list, float]]:
+    def puller(now: float, gris: GRIS = gris) -> tuple[list, float]:
+        result = gris.search(now=now)
+        return result.entries, result.exec_cost
+
+    return puller
+
+
+@register_adapter
+class MdsAdapter(SystemAdapter):
+    system = System.MDS
+
+    # -- phase 1: functional objects ----------------------------------------
+
+    def materialize(self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment) -> None:
+        for spec in plan.nodes:
+            if isinstance(spec, ServerSpec):
+                self._materialize_gris(plan, dep, spec)
+            elif isinstance(spec, (AggregateSpec, DirectorySpec)):
+                if spec.variant == "fanout":
+                    continue  # pure service node, no resident GIIS state
+                dep.objects[spec.name] = GIIS(
+                    spec.options.get("giis_name", spec.name),
+                    cachettl=spec.options.get("cachettl", float("inf")),
+                )
+
+    def _collector_count(self, plan: DeploymentPlan, spec: NodeSpec) -> int:
+        for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
+            source = plan.node(edge.source)
+            assert isinstance(source, CollectorSpec)
+            return source.count
+        return 10
+
+    def _materialize_gris(
+        self, plan: DeploymentPlan, dep: Deployment, spec: ServerSpec
+    ) -> None:
+        count = self._collector_count(plan, spec)
+        ttl = float("inf") if spec.cached else 0.0
+        if spec.replicas == 1 and "hostname_format" not in spec.options:
+            hostname = spec.options.get("hostname", f"{spec.host}.mcs.anl.gov")
+            gris = GRIS(hostname, replicated_providers(count), cachettl=ttl, seed=spec.seed)
+            if spec.primed:
+                gris.search(now=0.0)  # prime the cache before measurement
+            dep.objects[spec.name] = gris
+            return
+        # A bank: "multiple instances at each Lucky node" (paper §3.6).
+        placements = self.bank_placements(spec)
+        name_format = spec.options.get("hostname_format", spec.name + "{i}")
+        bank: list[GRIS] = []
+        for i in range(spec.replicas):
+            node = placements[i % len(placements)] if placements else ""
+            hostname = name_format.format(node=node, i=i)
+            bank.append(
+                GRIS(hostname, replicated_providers(count), cachettl=ttl, seed=spec.seed + i)
+            )
+        dep.objects[spec.name] = bank
+
+    # -- phase 2: edges + priming -------------------------------------------
+
+    def connect(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        for edge in plan.edges:
+            if edge.kind is not EdgeKind.REGISTRATION:
+                continue
+            giis: GIIS = dep.objects[edge.target]
+            pullers = dep.extras.setdefault(f"pullers:{edge.target}", {})
+            ttl = float(edge.options.get("ttl", 1e12))
+            source = dep.objects[edge.source]
+            if isinstance(source, list):
+                label_format = edge.options.get("label_format", edge.source + "{i}")
+                for i, gris in enumerate(source):
+                    label = label_format.format(i=i)
+                    puller = _make_puller(gris)
+                    pullers[label] = puller
+                    giis.register(label, puller, now=0.0, ttl=ttl)
+            else:
+                label = edge.options.get("label", edge.source)
+                puller = _make_puller(source)
+                pullers[label] = puller
+                giis.register(label, puller, now=0.0, ttl=ttl)
+        for spec in plan.nodes:
+            if isinstance(spec, (AggregateSpec, DirectorySpec)) and spec.primed:
+                # "cachettl ... set to a very large value ... always in cache"
+                dep.objects[spec.name].query(now=0.0)
+
+    # -- phase 3: services ---------------------------------------------------
+
+    def expose(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        p = run.params.giis
+        for spec in plan.nodes:
+            if not spec.expose or isinstance(spec, CollectorSpec):
+                continue
+            host = self.node_host(run, spec)
+            if isinstance(spec, ServerSpec):
+                factory = service_factory(self.system, Role.INFORMATION_SERVER, spec.variant)
+                dep.services[spec.name] = factory(
+                    run.sim, run.net, host, dep.objects[spec.name], run.params.gris
+                )
+                continue
+            if isinstance(spec, AggregateSpec) and spec.variant == "fanout":
+                children = [
+                    dep.services[e.source]
+                    for e in plan.edges_to(spec.name, EdgeKind.AGGREGATION)
+                ]
+                if not children:
+                    raise PlanError(f"fanout node {spec.name!r} has no aggregation edges")
+                factory = service_factory(
+                    self.system, Role.AGGREGATE_INFORMATION_SERVER, "fanout"
+                )
+                dep.services[spec.name] = factory(
+                    run.sim,
+                    run.net,
+                    host,
+                    children,
+                    p,
+                    label=spec.options.get("label", f"giis:{spec.name}"),
+                    top=spec.name == plan.entry,
+                )
+                continue
+            giis = dep.objects[spec.name]
+            factory = service_factory(self.system, spec.role, spec.variant)
+            if isinstance(spec, AggregateSpec) and spec.variant == "default":
+                dep.services[spec.name] = factory(
+                    run.sim, run.net, host, giis, p, query_part=spec.query_part
+                )
+            else:
+                dep.services[spec.name] = factory(run.sim, run.net, host, giis, p)
+            if any(
+                e.options.get("soft_state")
+                for e in plan.edges_to(spec.name, EdgeKind.REGISTRATION)
+            ):
+                reg_factory = service_factory(self.system, spec.role, "registration")
+                dep.services[f"{spec.name}:registration"] = reg_factory(
+                    run.sim, run.net, host, giis, p, dep.extras[f"pullers:{spec.name}"]
+                )
+
+    # -- phase 4: background processes ---------------------------------------
+
+    def activate(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        swept: list[str] = []
+        for edge in plan.edges:
+            if edge.kind is not EdgeKind.REGISTRATION or not edge.options.get("soft_state"):
+                continue
+            if hooks.registration_retry is None:
+                raise PlanError(
+                    f"edge {edge.source}->{edge.target} wants soft-state registrars; "
+                    "compile with a registration_retry policy"
+                )
+            source = plan.node(edge.source)
+            label = edge.options.get("label", edge.source)
+            reg_service = dep.services[f"{edge.target}:registration"]
+            st = RegistrarStats(registered=True, last_confirmed=0.0)
+            dep.extras.setdefault("registrar_stats", []).append(st)
+            run.sim.spawn(
+                soft_state_registrar(
+                    run.sim,
+                    run.net,
+                    resolve_host(run, source.host or ""),
+                    reg_service,
+                    label,
+                    interval=float(edge.options["interval"]),
+                    ttl=float(edge.options["ttl"]),
+                    retry=hooks.registration_retry,
+                    stats=st,
+                ),
+                name=f"registrar:{label}",
+            )
+            if edge.target not in swept:
+                swept.append(edge.target)
+        for target in swept:
+            giis: GIIS = dep.objects[target]
+
+            def lease_sweeper(giis: GIIS = giis) -> _t.Generator:
+                while True:
+                    yield run.sim.timeout(1.0)
+                    giis.sweep(run.sim.now)
+
+            run.sim.spawn(lease_sweeper(), name="giis-sweep")

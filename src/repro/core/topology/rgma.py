@@ -1,0 +1,138 @@
+"""The R-GMA adapter: plans onto ProducerServlet/Registry/ConsumerServlet.
+
+R-GMA has no aggregate information server (Table 1's empty cell —
+plan validation enforces it), but it has the study's only *mediator*:
+the ConsumerServlet, an information server fronting another one.
+Mediation edges carry the CS->PS hop and its retry attachment point;
+registration edges attach producers to the Registry with leases.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.components import Role, System
+from repro.core.runner import ScenarioRun
+from repro.core.services import service_factory
+from repro.core.topology.adapters import (
+    CompileHooks,
+    Deployment,
+    SystemAdapter,
+    register_adapter,
+)
+from repro.core.topology.plan import (
+    CollectorSpec,
+    DeploymentPlan,
+    DirectorySpec,
+    EdgeKind,
+    ServerSpec,
+)
+from repro.rgma.producer import make_default_producers
+from repro.rgma.producer_servlet import ProducerServlet
+from repro.rgma.registry import Registry
+
+__all__ = ["RgmaAdapter"]
+
+
+@register_adapter
+class RgmaAdapter(SystemAdapter):
+    system = System.RGMA
+
+    def materialize(self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment) -> None:
+        for spec in plan.nodes:
+            if isinstance(spec, DirectorySpec):
+                dep.objects[spec.name] = Registry(spec.options.get("registry_name", spec.name))
+            elif isinstance(spec, ServerSpec) and spec.variant == "default":
+                servlet = ProducerServlet(spec.options.get("servlet_name", spec.name))
+                dep.objects[spec.name] = servlet
+                for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
+                    collector = plan.node(edge.source)
+                    assert isinstance(collector, CollectorSpec)
+                    hostname = spec.options.get("producer_host", f"{spec.host}.mcs.anl.gov")
+                    dep.extras[f"producers:{spec.name}"] = make_default_producers(
+                        hostname, collector.count, seed=collector.seed
+                    )
+
+    def connect(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        for edge in plan.edges:
+            if edge.kind is not EdgeKind.REGISTRATION:
+                continue
+            servlet: ProducerServlet = dep.objects[edge.source]
+            registry: Registry = dep.objects[edge.target]
+            lease = float(edge.options.get("lease", 1e9))
+            for producer in dep.extras.get(f"producers:{edge.source}", ()):
+                servlet.attach(producer, registry, now=0.0, lease=lease)
+        for spec in plan.nodes:
+            if isinstance(spec, ServerSpec) and spec.variant == "default" and spec.primed:
+                # Initial measurement round so queries return rows.
+                dep.objects[spec.name].publish_all(now=0.0)
+
+    def expose(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        p = run.params
+        for spec in plan.nodes:
+            if not spec.expose or isinstance(spec, CollectorSpec):
+                continue
+            host = self.node_host(run, spec)
+            if isinstance(spec, DirectorySpec):
+                factory = service_factory(self.system, Role.DIRECTORY_SERVER, spec.variant)
+                dep.services[spec.name] = factory(
+                    run.sim, run.net, host, dep.objects[spec.name], p.registry
+                )
+            elif isinstance(spec, ServerSpec) and spec.variant == "mediator":
+                edges = plan.edges_from(spec.name, EdgeKind.MEDIATION)
+                upstream = dep.services[edges[0].target]
+                factory = service_factory(self.system, Role.INFORMATION_SERVER, "mediator")
+                dep.services[spec.name] = factory(
+                    run.sim,
+                    run.net,
+                    host,
+                    spec.options.get("cs_name", spec.name),
+                    upstream,
+                    p.consumer_servlet,
+                    retry=hooks.mediation_retry,
+                )
+            elif isinstance(spec, ServerSpec):
+                factory = service_factory(self.system, Role.INFORMATION_SERVER, spec.variant)
+                dep.services[spec.name] = factory(
+                    run.sim, run.net, host, dep.objects[spec.name], p.producer_servlet
+                )
+        # Per-host mediator routing (the rgma-ps-lucky consumer layout):
+        # when the entry is the anchor PS, clients talk to the mediator
+        # co-located on their own node.
+        mediators = [
+            spec
+            for spec in plan.nodes
+            if isinstance(spec, ServerSpec) and spec.variant == "mediator"
+        ]
+        if mediators and plan.entry not in {spec.name for spec in mediators}:
+            for spec in mediators:
+                dep.routes[self.node_host(run, spec)] = dep.services[spec.name]
+
+    def activate(
+        self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
+    ) -> None:
+        for spec in plan.nodes:
+            if not (
+                isinstance(spec, ServerSpec)
+                and spec.variant == "default"
+                and spec.options.get("publisher")
+            ):
+                continue
+            servlet: ProducerServlet = dep.objects[spec.name]
+            host = self.node_host(run, spec)
+            interval = float(spec.options.get("publish_interval", 30.0))
+
+            def publisher(
+                servlet: ProducerServlet = servlet, host=host, interval: float = interval
+            ) -> _t.Generator:
+                while True:
+                    yield run.sim.timeout(interval)
+                    count = servlet.publish_all(now=run.sim.now)
+                    # Buffer inserts burn a little CPU on the servlet host.
+                    yield host.compute(0.0008 * count)
+
+            run.sim.spawn(publisher(), name=f"publisher:{servlet.name}")

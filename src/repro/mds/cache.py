@@ -66,6 +66,28 @@ class TtlCache(_t.Generic[V]):
             return
         self._store[key] = (now + self.ttl, value)
 
+    def stale_count(self, now: float, keys: _t.Iterable[_t.Any] | None = None) -> int:
+        """How many of ``keys`` would miss at time ``now``.
+
+        Pure inspection — no eviction, no stats — so callers (the GRIS
+        service adapter predicting provider re-execution, planners
+        sizing a refresh) can ask without perturbing the cache.  With
+        ``keys=None`` it counts expired resident entries instead.
+        """
+        if keys is None:
+            if self.ttl <= 0:
+                return 0
+            return sum(1 for expires, _value in self._store.values() if now >= expires)
+        wanted = list(keys)
+        if self.ttl <= 0:
+            return len(wanted)
+        stale = 0
+        for key in wanted:
+            item = self._store.get(key)
+            if item is None or now >= item[0]:
+                stale += 1
+        return stale
+
     def invalidate(self, key: _t.Any) -> None:
         self._store.pop(key, None)
 
