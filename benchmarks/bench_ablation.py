@@ -21,7 +21,7 @@ from repro.core.params import default_params
 FAST = dict(warmup=5.0, window=20.0)
 
 
-def test_ablation_gris_cachettl(benchmark):
+def test_ablation_gris_cachettl(benchmark, benchjson):
     """Sweep the GRIS cachettl between the paper's two extremes."""
     from repro.core.experiments.common import build_gris, uc_clients
     from repro.core.runner import drive, new_run
@@ -45,7 +45,11 @@ def test_ablation_gris_cachettl(benchmark):
             rows.append((ttl, point.throughput, point.response_time))
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: benchjson.timed("ablation_gris_cachettl", sweep, config={"users": 200, **FAST}),
+        rounds=1,
+        iterations=1,
+    )
     table = "GRIS cachettl ablation (200 users)\n" + "\n".join(
         f"  ttl={ttl!s:>6}s  {x:7.2f} q/s  {r:7.2f} s" for ttl, x, r in rows
     )
@@ -56,7 +60,7 @@ def test_ablation_gris_cachettl(benchmark):
     assert rows[0][1] <= rows[1][1] <= rows[-1][1] + 1e-6
 
 
-def test_ablation_producer_servlet_threads(benchmark):
+def test_ablation_producer_servlet_threads(benchmark, benchjson):
     """Doubling servlet threads does not lift the R-GMA cap (lock-bound)."""
 
     def sweep():
@@ -73,7 +77,11 @@ def test_ablation_producer_servlet_threads(benchmark):
             rows.append((threads, point.throughput))
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: benchjson.timed("ablation_ps_threads", sweep, config={"users": 300, **FAST}),
+        rounds=1,
+        iterations=1,
+    )
     emit(
         "ablation_ps_threads",
         "ProducerServlet thread-pool ablation (300 users)\n"
@@ -83,7 +91,7 @@ def test_ablation_producer_servlet_threads(benchmark):
     assert max(xs) - min(xs) < 0.25 * max(xs)  # within 25%: pool is not the cap
 
 
-def test_ablation_giis_backlog(benchmark):
+def test_ablation_giis_backlog(benchmark, benchjson):
     """Larger backlogs trade refusals for queueing delay on the GIIS."""
 
     def sweep():
@@ -97,7 +105,11 @@ def test_ablation_giis_backlog(benchmark):
             rows.append((backlog, point.throughput, point.response_time, point.summary.refused))
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: benchjson.timed("ablation_giis_backlog", sweep, config={"users": 600, **FAST}),
+        rounds=1,
+        iterations=1,
+    )
     emit(
         "ablation_giis_backlog",
         "GIIS backlog ablation (600 users)\n"
@@ -111,7 +123,7 @@ def test_ablation_giis_backlog(benchmark):
     assert rows[-1][2] > rows[0][2]
 
 
-def test_ablation_manager_advertise_interval(benchmark):
+def test_ablation_manager_advertise_interval(benchmark, benchjson):
     """Faster advertising raises Manager load and erodes query throughput."""
 
     def sweep():
@@ -126,7 +138,11 @@ def test_ablation_manager_advertise_interval(benchmark):
             rows.append((interval, point.throughput, point.cpu_load))
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: benchjson.timed("ablation_manager_interval", sweep, config={"machines": 400, **FAST}),
+        rounds=1,
+        iterations=1,
+    )
     emit(
         "ablation_manager_interval",
         "Manager advertise-interval ablation (400 machines)\n"

@@ -15,10 +15,14 @@ FAST = dict(warmup=BENCH_WARMUP, window=BENCH_WINDOW)
 
 
 @pytest.mark.parametrize("system", exp1.SYSTEMS)
-def test_point_100_users(benchmark, system):
+def test_point_100_users(benchmark, benchjson, system):
     """Time-to-solution of one 100-user experiment point per system."""
     result = benchmark.pedantic(
-        lambda: exp1.run_point(system, 100, seed=1, **FAST),
+        lambda: benchjson.timed(
+            f"point_100_users[{system}]",
+            lambda: exp1.run_point(system, 100, seed=1, **FAST),
+            config={"system": system, "users": 100, **FAST},
+        ),
         rounds=2,
         iterations=1,
     )
@@ -27,17 +31,21 @@ def test_point_100_users(benchmark, system):
     benchmark.extra_info["response_s"] = round(result.response_time, 2)
 
 
-def test_point_cached_gris_600_users(benchmark):
+def test_point_cached_gris_600_users(benchmark, benchjson):
     """The heaviest Exp-1 point: 600 users on the cached GRIS."""
     result = benchmark.pedantic(
-        lambda: exp1.run_point("mds-gris-cache", 600, seed=1, **FAST),
+        lambda: benchjson.timed(
+            "point_600_users[mds-gris-cache]",
+            lambda: exp1.run_point("mds-gris-cache", 600, seed=1, **FAST),
+            config={"system": "mds-gris-cache", "users": 600, **FAST},
+        ),
         rounds=1,
         iterations=1,
     )
     assert result.throughput > 60
 
 
-def test_figures_5_to_8(benchmark):
+def test_figures_5_to_8(benchmark, benchjson):
     """Regenerate Figures 5-8 rows (one shared sweep, four projections)."""
 
     def sweep():
@@ -48,7 +56,13 @@ def test_figures_5_to_8(benchmark):
         ]
         return figures
 
-    figures = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    figures = benchmark.pedantic(
+        lambda: benchjson.timed(
+            "figures_5_to_8", sweep, config={"x_values": list(BENCH_X_USERS), **FAST}
+        ),
+        rounds=1,
+        iterations=1,
+    )
     for figure in figures:
         emit(f"figure{figure.number:02d}", figure.to_table())
     # Headline checks: cache decisive; R-GMA response grows with users.

@@ -10,10 +10,14 @@ FAST = dict(warmup=BENCH_WARMUP, window=BENCH_WINDOW)
 
 
 @pytest.mark.parametrize("system", ("mds-giis", "hawkeye-manager", "rgma-registry-lucky"))
-def test_point_300_users(benchmark, system):
+def test_point_300_users(benchmark, benchjson, system):
     """Time-to-solution of one 300-user directory point per system."""
     result = benchmark.pedantic(
-        lambda: exp2.run_point(system, 300, seed=1, **FAST),
+        lambda: benchjson.timed(
+            f"point_300_users[{system}]",
+            lambda: exp2.run_point(system, 300, seed=1, **FAST),
+            config={"system": system, "users": 300, **FAST},
+        ),
         rounds=1,
         iterations=1,
     )
@@ -21,7 +25,7 @@ def test_point_300_users(benchmark, system):
     benchmark.extra_info["throughput_qps"] = round(result.throughput, 2)
 
 
-def test_figures_9_to_12(benchmark):
+def test_figures_9_to_12(benchmark, benchjson):
     """Regenerate Figures 9-12 rows (one shared sweep, four projections)."""
 
     def sweep():
@@ -31,7 +35,13 @@ def test_figures_9_to_12(benchmark):
             for n in (9, 10, 11, 12)
         ]
 
-    figures = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    figures = benchmark.pedantic(
+        lambda: benchjson.timed(
+            "figures_9_to_12", sweep, config={"x_values": list(BENCH_X_USERS), **FAST}
+        ),
+        rounds=1,
+        iterations=1,
+    )
     for figure in figures:
         emit(f"figure{figure.number:02d}", figure.to_table())
     # Headline checks: GIIS/Manager scale well; Registry is slower and hotter.

@@ -11,10 +11,14 @@ X_COLLECTORS = (10, 50, 90)
 
 
 @pytest.mark.parametrize("system", exp3.SYSTEMS)
-def test_point_90_collectors(benchmark, system):
+def test_point_90_collectors(benchmark, benchjson, system):
     """Time-to-solution of the 90-collector point per system."""
     result = benchmark.pedantic(
-        lambda: exp3.run_point(system, 90, seed=1, **FAST),
+        lambda: benchjson.timed(
+            f"point_90_collectors[{system}]",
+            lambda: exp3.run_point(system, 90, seed=1, **FAST),
+            config={"system": system, "collectors": 90, **FAST},
+        ),
         rounds=2,
         iterations=1,
     )
@@ -22,7 +26,7 @@ def test_point_90_collectors(benchmark, system):
     benchmark.extra_info["response_s"] = round(result.response_time, 2)
 
 
-def test_figures_13_to_16(benchmark):
+def test_figures_13_to_16(benchmark, benchjson):
     """Regenerate Figures 13-16 rows (one shared sweep, four projections)."""
 
     def sweep():
@@ -32,7 +36,13 @@ def test_figures_13_to_16(benchmark):
             for n in (13, 14, 15, 16)
         ]
 
-    figures = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    figures = benchmark.pedantic(
+        lambda: benchjson.timed(
+            "figures_13_to_16", sweep, config={"x_values": list(X_COLLECTORS), **FAST}
+        ),
+        rounds=1,
+        iterations=1,
+    )
     for figure in figures:
         emit(f"figure{figure.number:02d}", figure.to_table())
     fig13, fig14 = figures[0], figures[1]

@@ -17,10 +17,14 @@ X_BY_SYSTEM = {
     "system,servers",
     [("mds-giis-all", 200), ("mds-giis-part", 500), ("hawkeye-manager", 1000)],
 )
-def test_point_worst_case(benchmark, system, servers):
+def test_point_worst_case(benchmark, benchjson, system, servers):
     """Time-to-solution of each series' largest surviving point."""
     result = benchmark.pedantic(
-        lambda: exp4.run_point(system, servers, seed=1, **FAST),
+        lambda: benchjson.timed(
+            f"point_worst_case[{system}-{servers}]",
+            lambda: exp4.run_point(system, servers, seed=1, **FAST),
+            config={"system": system, "servers": servers, **FAST},
+        ),
         rounds=1,
         iterations=1,
     )
@@ -28,7 +32,7 @@ def test_point_worst_case(benchmark, system, servers):
     benchmark.extra_info["throughput_qps"] = round(result.throughput, 3)
 
 
-def test_figures_17_to_20(benchmark):
+def test_figures_17_to_20(benchmark, benchjson):
     """Regenerate Figures 17-20 rows (per-series sweep grids, shared runs)."""
     from repro.core.figures import FIGURES, points_to_series
     from repro.core.results import Figure
@@ -52,7 +56,15 @@ def test_figures_17_to_20(benchmark):
             figures.append(fig)
         return figures
 
-    figures = benchmark.pedantic(run_sets, rounds=1, iterations=1)
+    figures = benchmark.pedantic(
+        lambda: benchjson.timed(
+            "figures_17_to_20",
+            run_sets,
+            config={"x_by_system": {k: list(v) for k, v in X_BY_SYSTEM.items()}, **FAST},
+        ),
+        rounds=1,
+        iterations=1,
+    )
     for figure in figures:
         emit(f"figure{figure.number:02d}", figure.to_table())
     fig17 = figures[0]

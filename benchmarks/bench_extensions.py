@@ -17,7 +17,7 @@ from repro.core.experiments.extensions import (
 FAST = dict(warmup=10.0, window=30.0)
 
 
-def test_ext_wan_environment(benchmark):
+def test_ext_wan_environment(benchmark, benchjson):
     """§4: 'the experiments should be repeated ... in a WAN environment'."""
 
     def sweep():
@@ -30,7 +30,11 @@ def test_ext_wan_environment(benchmark):
             for system in ("mds-gris-cache", "hawkeye-agent")
         }
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: benchjson.timed("ext_wan", sweep, config={"users": 30, **FAST}),
+        rounds=1,
+        iterations=1,
+    )
     lines = ["WAN environment sweep (30 users)"]
     for system, rows in results.items():
         for label, p in rows:
@@ -43,13 +47,17 @@ def test_ext_wan_environment(benchmark):
     assert agent["intercontinental"].response_time > agent["lan"].response_time + 0.1
 
 
-def test_ext_access_patterns(benchmark):
+def test_ext_access_patterns(benchmark, benchjson):
     """§4: 'additional patterns of user access'."""
 
     def sweep():
         return access_pattern_sweep("mds-gris-cache", users=300, seed=1, **FAST)
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: benchjson.timed("ext_access_patterns", sweep, config={"users": 300, **FAST}),
+        rounds=1,
+        iterations=1,
+    )
     emit(
         "ext_access_patterns",
         "Access-pattern sweep (GRIS cache, 300 users)\n"
@@ -61,7 +69,7 @@ def test_ext_access_patterns(benchmark):
     assert all(p.throughput > 20 for _label, p in rows)
 
 
-def test_ext_aggregate_vs_direct(benchmark):
+def test_ext_aggregate_vs_direct(benchmark, benchjson):
     """§4: GIIS vs. GRIS for the same piece of information."""
 
     def sweep():
@@ -70,7 +78,11 @@ def test_ext_aggregate_vs_direct(benchmark):
             for users in (10, 50, 200)
         }
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: benchjson.timed("ext_aggregate_vs_direct", sweep, config=FAST),
+        rounds=1,
+        iterations=1,
+    )
     lines = ["Aggregate (GIIS) vs direct (GRIS), same query"]
     for users, out in results.items():
         lines.append(
@@ -81,7 +93,7 @@ def test_ext_aggregate_vs_direct(benchmark):
     assert results[200]["via-giis"].response_time < results[200]["direct-gris"].response_time
 
 
-def test_ext_push_vs_pull(benchmark):
+def test_ext_push_vs_pull(benchmark, benchjson):
     """§3.7's pull/push contrast measured over one event stream."""
 
     def sweep():
@@ -92,7 +104,11 @@ def test_ext_push_vs_pull(benchmark):
             for interval in (2.0, 10.0, 30.0)
         }
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: benchjson.timed("ext_push_vs_pull", sweep, config={"watchers": 50}),
+        rounds=1,
+        iterations=1,
+    )
     lines = ["Push vs pull notification (50 watchers)"]
     for interval, out in results.items():
         pull, push = out["pull"], out["push"]
@@ -107,13 +123,17 @@ def test_ext_push_vs_pull(benchmark):
         assert out["push"].mean_latency < out["pull"].mean_latency
 
 
-def test_ext_multilayer_hierarchy(benchmark):
+def test_ext_multilayer_hierarchy(benchmark, benchjson):
     """§3.6's proposed fix: two-level GIIS tree vs. flat aggregation."""
 
     def sweep():
         return {n: hierarchy_comparison(n, users=10, seed=1, **FAST) for n in (49, 100, 196)}
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: benchjson.timed("ext_hierarchy", sweep, config={"users": 10, **FAST}),
+        rounds=1,
+        iterations=1,
+    )
     lines = ["Two-level GIIS hierarchy vs flat (10 users)"]
     for n, out in results.items():
         lines.append(

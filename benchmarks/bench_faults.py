@@ -30,10 +30,14 @@ RECOVERY_FLOOR = 0.8
 
 
 @pytest.mark.parametrize("system", FAULT_SYSTEMS)
-def test_point_outage_100_users(benchmark, system):
+def test_point_outage_100_users(benchmark, benchjson, system):
     """One mid-window outage at 100 users: recovery and amplification."""
     result = benchmark.pedantic(
-        lambda: faults.run_fault_point(system, 100, seed=1, schedule="outage", **FAST),
+        lambda: benchjson.timed(
+            f"point_outage_100_users[{system}]",
+            lambda: faults.run_fault_point(system, 100, seed=1, schedule="outage", **FAST),
+            config={"system": system, "users": 100, "schedule": "outage", **FAST},
+        ),
         rounds=1,
         iterations=1,
     )
@@ -47,7 +51,7 @@ def test_point_outage_100_users(benchmark, system):
     benchmark.extra_info["amplification"] = round(result.retry_amplification, 3)
 
 
-def test_breaker_caps_amplification(benchmark):
+def test_breaker_caps_amplification(benchmark, benchjson):
     """Same outage with and without the breaker: rejections replace tries."""
 
     def pair():
@@ -59,7 +63,15 @@ def test_breaker_caps_amplification(benchmark):
         )
         return guarded, naked
 
-    guarded, naked = benchmark.pedantic(pair, rounds=1, iterations=1)
+    guarded, naked = benchmark.pedantic(
+        lambda: benchjson.timed(
+            "breaker_caps_amplification",
+            pair,
+            config={"system": "mds-gris-cache", "schedule": "flapping", **FAST},
+        ),
+        rounds=1,
+        iterations=1,
+    )
     g, n = guarded.faulted.resilience, naked.faulted.resilience
     assert g is not None and n is not None
     assert g.breaker_rejections > 0
@@ -71,7 +83,7 @@ def test_breaker_caps_amplification(benchmark):
     benchmark.extra_info["naked_amp"] = round(naked.retry_amplification, 3)
 
 
-def test_fault_tables(benchmark):
+def test_fault_tables(benchmark, benchjson):
     """Emit the resilience tables for both fault schedules."""
 
     def sweep():
@@ -83,7 +95,11 @@ def test_fault_tables(benchmark):
             ]
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: benchjson.timed("fault_tables", sweep, config={"users": 100, **FAST}),
+        rounds=1,
+        iterations=1,
+    )
     for schedule, results in rows.items():
         emit(f"faults_{schedule}", faults.format_fault_table(results))
     # The soft-state registrars re-register after the long outage ...

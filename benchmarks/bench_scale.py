@@ -16,13 +16,17 @@ FAST = dict(warmup=5.0, window=20.0)
 
 
 @pytest.mark.parametrize("system", scale.SYSTEMS)
-def test_scale_grid(benchmark, system):
+def test_scale_grid(benchmark, benchjson, system):
     """Time-to-solution of a depth-1/2/3 tree sweep per system."""
     rows = benchmark.pedantic(
-        lambda: [
-            scale.run_scale_point(system, depth, fanout, seed=1, **FAST)
-            for depth, fanout in SMOKE_GRID
-        ],
+        lambda: benchjson.timed(
+            f"scale_grid[{system}]",
+            lambda: [
+                scale.run_scale_point(system, depth, fanout, seed=1, **FAST)
+                for depth, fanout in SMOKE_GRID
+            ],
+            config={"system": system, "grid": [list(g) for g in SMOKE_GRID], **FAST},
+        ),
         rounds=1,
         iterations=1,
     )
@@ -32,7 +36,7 @@ def test_scale_grid(benchmark, system):
     assert all(r.result.throughput > 0 for r in rows)
 
 
-def test_deep_tree_beats_flat_mds(benchmark):
+def test_deep_tree_beats_flat_mds(benchmark, benchjson):
     """§3.6's fix, quantified: 64 GRIS behind a depth-2 tree vs. one GIIS."""
     from repro.core.experiments import exp4
 
@@ -41,7 +45,11 @@ def test_deep_tree_beats_flat_mds(benchmark):
         flat = exp4.run_point("mds-giis-all", 64, seed=1, **FAST)
         return tree, flat
 
-    tree, flat = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    tree, flat = benchmark.pedantic(
+        lambda: benchjson.timed("deep_tree_vs_flat_mds", run_pair, config=FAST),
+        rounds=1,
+        iterations=1,
+    )
     assert not tree.result.crashed
     # The tree parallelizes per-GRIS work across mid-level nodes.
     assert tree.result.response_time < flat.response_time

@@ -15,7 +15,7 @@ from repro.relational import Database
 from repro.sim import ProcessorSharing, Simulator
 
 
-def test_event_loop_throughput(benchmark):
+def test_event_loop_throughput(benchmark, benchjson):
     """Schedule/process 20k timeout events."""
 
     def run():
@@ -29,11 +29,18 @@ def test_event_loop_throughput(benchmark):
         sim.run()
         return sim.events_processed
 
-    events = benchmark(run)
+    events = benchmark(
+        lambda: benchjson.timed(
+            "event_loop_20k_timeouts",
+            run,
+            config={"timeouts": 20_000},
+            events_from=lambda n: n,
+        )
+    )
     assert events >= 20_000
 
 
-def test_processor_sharing_churn(benchmark):
+def test_processor_sharing_churn(benchmark, benchjson):
     """5k overlapping jobs through one PS queue (O(log n) per event)."""
 
     def run():
@@ -48,9 +55,16 @@ def test_processor_sharing_churn(benchmark):
         for _ in range(5_000):
             sim.spawn(job(sim, float(rng.uniform(0, 50)), float(rng.uniform(0.01, 1.0))))
         sim.run()
-        return ps.snapshot().completed
+        return ps.snapshot().completed, sim.events_processed
 
-    completed = benchmark(run)
+    completed, _events = benchmark(
+        lambda: benchjson.timed(
+            "processor_sharing_5k_jobs",
+            run,
+            config={"jobs": 5_000, "servers": 2},
+            events_from=lambda r: r[1],
+        )
+    )
     assert completed == 5_000
 
 
@@ -121,7 +135,7 @@ def test_sql_indexed_select(benchmark):
     assert benchmark(run) == 100
 
 
-def test_full_stack_rpc_round_trips(benchmark):
+def test_full_stack_rpc_round_trips(benchmark, benchjson):
     """1k simulated RPC round trips over the testbed WAN."""
     from repro.core.params import TestbedParams
     from repro.core.testbed import build_testbed
@@ -146,6 +160,14 @@ def test_full_stack_rpc_round_trips(benchmark):
 
         sim.spawn(client(sim))
         sim.run(until=1e6)
-        return len(done)
+        return len(done), sim.events_processed
 
-    assert benchmark(run) == 1
+    finished, _events = benchmark(
+        lambda: benchjson.timed(
+            "rpc_1k_round_trips",
+            run,
+            config={"round_trips": 1_000},
+            events_from=lambda r: r[1],
+        )
+    )
+    assert finished == 1

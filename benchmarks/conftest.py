@@ -2,7 +2,10 @@
 
 Each ``bench_expN`` module regenerates the corresponding paper figures
 and *prints the same rows the paper plots* (writing them to
-``benchmarks/results/`` as well, since pytest captures stdout).
+``benchmarks/results/`` as well, since pytest captures stdout).  The
+module-scoped ``benchjson`` fixture additionally writes one JSON record
+file per bench module — the machine-readable side-channel CI's perf
+gate compares against ``benchmarks/baselines/`` (see docs/BENCHMARKS.md).
 Set ``REPRO_FULL=1`` for paper-faithful 600-second measurement windows.
 """
 
@@ -10,6 +13,10 @@ from __future__ import annotations
 
 import pathlib
 import sys
+
+import pytest
+
+from benchmarks.benchjson import JsonSession
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -20,12 +27,29 @@ BENCH_WARMUP = 10.0
 BENCH_WINDOW = 30.0
 
 
+def results_dir() -> pathlib.Path:
+    """The shared output directory, created on first use."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
 def emit(name: str, text: str) -> pathlib.Path:
     """Write a figure table to benchmarks/results/ and echo it live."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
+    path = results_dir() / f"{name}.txt"
     path.write_text(text + "\n")
     # Bypass pytest's capture so the rows appear in the benchmark log.
     sys.__stdout__.write(f"\n{text}\n[written to {path}]\n")
     sys.__stdout__.flush()
     return path
+
+
+@pytest.fixture(scope="module")
+def benchjson(request) -> JsonSession:
+    """One JSON record session per bench module, written at teardown."""
+    bench = request.module.__name__.rsplit(".", 1)[-1]
+    session = JsonSession(bench, results_dir())
+    yield session
+    path = session.write()
+    if path is not None:
+        sys.__stdout__.write(f"\n[bench records written to {path}]\n")
+        sys.__stdout__.flush()

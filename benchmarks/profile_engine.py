@@ -1,0 +1,123 @@
+"""Profile the simulation hot path on representative workloads.
+
+This is the measuring instrument behind every engine optimization (per
+the HPC guide: no optimization without measuring).  It runs the two
+workloads that dominate experiment wall time —
+
+* ``exp1_600`` — 600 users hammering the cached GRIS (Figure 5's
+  heaviest point): RPC dispatch, PS queues and the event loop;
+* ``exp4_1000`` — the Hawkeye Manager aggregating 1000 machines
+  (Figure 17's largest surviving point): fan-out query traffic plus
+  background advertisement churn —
+
+and reports wall time, simulated events, events/sec and µs/event
+(best of ``--repeat``).  ``--profile`` adds a cProfile breakdown of
+where the time goes.  Records land in
+``benchmarks/results/profile_engine.json`` alongside the bench-suite
+records so they can be baselined and gated too.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/profile_engine.py [--profile]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pathlib
+import pstats
+import sys
+from time import perf_counter
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:  # allow `python benchmarks/profile_engine.py`
+    sys.path.insert(0, str(_REPO_ROOT))
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from benchmarks.benchjson import JsonSession  # noqa: E402
+from benchmarks.conftest import results_dir  # noqa: E402
+from repro.core.experiments import exp1, exp4  # noqa: E402
+
+FAST = dict(warmup=10.0, window=30.0)
+
+WORKLOADS = {
+    "exp1_600": lambda: exp1.run_point("mds-gris-cache", 600, seed=1, **FAST),
+    "exp4_1000": lambda: exp4.run_point("hawkeye-manager", 1000, seed=1, **FAST),
+}
+CONFIGS = {
+    "exp1_600": {"system": "mds-gris-cache", "users": 600, **FAST},
+    "exp4_1000": {"system": "hawkeye-manager", "servers": 1000, **FAST},
+}
+
+
+def run_workload(name: str, repeat: int) -> tuple[float, object]:
+    """Best wall time over ``repeat`` runs, plus the last point result."""
+    fn = WORKLOADS[name]
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = perf_counter()
+        result = fn()
+        best = min(best, perf_counter() - start)
+    return best, result
+
+
+def profile_workload(name: str, top: int, sort: str) -> None:
+    """Print a cProfile breakdown of one workload run."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    WORKLOADS[name]()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workload",
+        choices=(*WORKLOADS, "all"),
+        default="all",
+        help="which representative workload to run (default: all)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing runs per workload; best is kept"
+    )
+    parser.add_argument(
+        "--profile", action="store_true", help="also print a cProfile breakdown"
+    )
+    parser.add_argument(
+        "--sort",
+        default="tottime",
+        choices=("tottime", "cumulative", "ncalls"),
+        help="cProfile sort key (default: tottime)",
+    )
+    parser.add_argument("--top", type=int, default=25, help="profile rows to print")
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing profile_engine.json"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(WORKLOADS) if args.workload == "all" else [args.workload]
+    session = JsonSession("profile_engine", results_dir())
+    print(f"{'workload':<10} {'wall s':>8} {'events':>10} {'events/s':>12} {'µs/event':>10}")
+    for name in names:
+        wall, result = run_workload(name, args.repeat)
+        session.record(name, wall, result, CONFIGS[name])
+        events = getattr(result, "sim_events", 0)
+        rate = events / wall if wall > 0 else 0.0
+        per_event_us = wall / events * 1e6 if events else 0.0
+        print(f"{name:<10} {wall:>8.3f} {events:>10,d} {rate:>12,.0f} {per_event_us:>10.3f}")
+        if args.profile:
+            print(f"\n--- cProfile: {name} ({args.sort}, top {args.top}) ---")
+            profile_workload(name, args.top, args.sort)
+    if not args.no_json:
+        path = session.write()
+        print(f"\n[records written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""``repro-bench`` — compare, refresh and inspect benchmark JSON records.
+
+Subcommands
+-----------
+
+``compare``
+    Diff ``benchmarks/results/*.json`` against ``benchmarks/baselines/``
+    and exit non-zero when any baseline record regressed (events/sec
+    dropped more than ``--tolerance``, default 25%) or is missing from
+    the run.  This is CI's perf gate.
+
+``baseline``
+    Copy the current run's records over the committed baselines — the
+    refresh step after an intentional perf change (see
+    docs/BENCHMARKS.md for the policy).
+
+``show``
+    Print the current run's records as a table.
+
+Exit codes: 0 ok, 1 regression/missing records, 2 usage or IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import shutil
+import sys
+import typing as _t
+
+from repro.core.benchjson import compare, load_records
+
+__all__ = ["main"]
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
+
+_DEFAULT_RUN = pathlib.Path("benchmarks/results")
+_DEFAULT_BASELINE = pathlib.Path("benchmarks/baselines")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Compare and maintain machine-readable benchmark records.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmp_p = sub.add_parser("compare", help="diff a run against the committed baselines")
+    cmp_p.add_argument("--run", type=pathlib.Path, default=_DEFAULT_RUN)
+    cmp_p.add_argument("--baseline", type=pathlib.Path, default=_DEFAULT_BASELINE)
+    cmp_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative events/sec drop before failing (default 0.25)",
+    )
+
+    base_p = sub.add_parser("baseline", help="refresh baselines from the current run")
+    base_p.add_argument("--run", type=pathlib.Path, default=_DEFAULT_RUN)
+    base_p.add_argument("--baseline", type=pathlib.Path, default=_DEFAULT_BASELINE)
+
+    show_p = sub.add_parser("show", help="print the current run's records")
+    show_p.add_argument("--run", type=pathlib.Path, default=_DEFAULT_RUN)
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
+    try:
+        run = load_records(args.run)
+        baseline = load_records(args.baseline)
+        results = compare(run, baseline, tolerance=args.tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if not baseline:
+        print(f"repro-bench: no baseline records under {args.baseline}", file=sys.stderr)
+        return EXIT_ERROR
+    for result in results:
+        print(result.describe(), file=out)
+    bad = [r for r in results if r.status != "ok"]
+    gated = sum(1 for r in results if r.baseline > 0)
+    print(
+        f"\n{len(results)} baseline records ({gated} throughput-gated), "
+        f"{len(bad)} failing, tolerance {args.tolerance:.0%}",
+        file=out,
+    )
+    return EXIT_REGRESSION if bad else EXIT_OK
+
+
+def _cmd_baseline(args: argparse.Namespace, out: _t.TextIO) -> int:
+    run_dir = pathlib.Path(args.run)
+    files = sorted(run_dir.glob("*.json"))
+    if not files:
+        print(f"repro-bench: no *.json records under {run_dir}", file=sys.stderr)
+        return EXIT_ERROR
+    baseline_dir = pathlib.Path(args.baseline)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for path in files:
+        shutil.copyfile(path, baseline_dir / path.name)
+        print(f"baselined {path.name}", file=out)
+    return EXIT_OK
+
+
+def _cmd_show(args: argparse.Namespace, out: _t.TextIO) -> int:
+    try:
+        run = load_records(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if not run:
+        print(f"repro-bench: no records under {args.run}", file=sys.stderr)
+        return EXIT_ERROR
+    header = f"{'bench:name':<60} {'wall s':>9} {'events':>10} {'ev/s':>12} {'q/s':>8} {'p95 s':>8}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for (bench, name), rec in sorted(run.items()):
+        print(
+            f"{bench + ':' + name:<60} {rec.wall_seconds:>9.3f} {rec.events:>10,d} "
+            f"{rec.events_per_sec:>12,.0f} {rec.throughput:>8.2f} {rec.latency_p95:>8.4f}",
+            file=out,
+        )
+    return EXIT_OK
+
+
+def main(argv: _t.Sequence[str] | None = None, out: _t.TextIO = sys.stdout) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args, out)
+    if args.command == "baseline":
+        return _cmd_baseline(args, out)
+    return _cmd_show(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

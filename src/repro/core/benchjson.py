@@ -1,0 +1,258 @@
+"""Machine-readable benchmark records (schema, IO and comparison).
+
+Every ``benchmarks/bench_*`` module writes — alongside its human-readable
+``.txt`` figure tables — one JSON file of performance records::
+
+    {
+      "schema": 1,
+      "bench": "bench_exp1",
+      "records": [
+        {
+          "bench": "bench_exp1",
+          "name": "point_100_users[mds-gris-cache]",
+          "config": {"system": "mds-gris-cache", "users": 100},
+          "wall_seconds": 0.123,
+          "events": 18042,
+          "events_per_sec": 146682.9,
+          "throughput": 97.3,
+          "latency_p50": 0.021,
+          "latency_p95": 0.055
+        },
+        ...
+      ]
+    }
+
+``events``/``throughput``/``latency_*`` come from the run's
+:class:`~repro.core.runner.PointResult` (aggregated when a benchmark
+times a whole sweep); timing-only benchmarks that produce no point
+results record ``events = 0`` and are exempt from the throughput gate.
+
+:func:`compare` diffs a results directory against a committed baseline
+directory with a relative tolerance; the ``repro-bench`` CLI
+(:mod:`repro.core.benchcli`) wraps it for CI.  See docs/BENCHMARKS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as _t
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "Comparison",
+    "record_from_result",
+    "write_bench_file",
+    "load_bench_file",
+    "load_records",
+    "compare",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark measurement."""
+
+    bench: str
+    name: str
+    config: dict[str, _t.Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    events: int = 0
+    events_per_sec: float = 0.0
+    throughput: float = 0.0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.bench, self.name)
+
+    def to_dict(self) -> dict[str, _t.Any]:
+        return {
+            "bench": self.bench,
+            "name": self.name,
+            "config": self.config,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "throughput": round(self.throughput, 4),
+            "latency_p50": round(self.latency_p50, 6),
+            "latency_p95": round(self.latency_p95, 6),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, _t.Any]) -> "BenchRecord":
+        return cls(
+            bench=str(data["bench"]),
+            name=str(data["name"]),
+            config=dict(data.get("config") or {}),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            events=int(data.get("events", 0)),
+            events_per_sec=float(data.get("events_per_sec", 0.0)),
+            throughput=float(data.get("throughput", 0.0)),
+            latency_p50=float(data.get("latency_p50", 0.0)),
+            latency_p95=float(data.get("latency_p95", 0.0)),
+        )
+
+
+# -- extraction ---------------------------------------------------------------
+
+
+def _point_results(obj: _t.Any) -> list[_t.Any]:
+    """Recursively collect PointResult-shaped objects out of ``obj``.
+
+    Benchmarks return all sorts of shapes — one point, a sweep list, a
+    dict of label -> point, wrappers like ScalePoint (``.result``) or
+    FaultPointResult (``.baseline`` / ``.faulted``).  Duck-typing keeps
+    this schema module free of experiment imports.
+    """
+    if obj is None:
+        return []
+    if hasattr(obj, "sim_events") and hasattr(obj, "summary"):
+        return [obj]
+    if isinstance(obj, dict):
+        out: list[_t.Any] = []
+        for value in obj.values():
+            out.extend(_point_results(value))
+        return out
+    if isinstance(obj, (list, tuple)):
+        out = []
+        for value in obj:
+            out.extend(_point_results(value))
+        return out
+    out = []
+    for attr in ("result", "baseline", "faulted"):
+        if hasattr(obj, attr):
+            out.extend(_point_results(getattr(obj, attr)))
+    return out
+
+
+def record_from_result(
+    bench: str,
+    name: str,
+    wall_seconds: float,
+    result: _t.Any = None,
+    config: dict[str, _t.Any] | None = None,
+) -> BenchRecord:
+    """Build one record from whatever a benchmark callable returned.
+
+    With point results available the record carries engine events and
+    client-side metrics (summed events; mean throughput; worst-case
+    latency percentiles across the sweep).  Without any, it is a
+    wall-clock-only record (``events = 0``).
+    """
+    points = _point_results(result)
+    events = sum(p.sim_events for p in points)
+    throughput = (
+        sum(p.summary.throughput for p in points) / len(points) if points else 0.0
+    )
+    latency_p50 = max((p.summary.latency_p50 for p in points), default=0.0)
+    latency_p95 = max((p.summary.latency_p95 for p in points), default=0.0)
+    return BenchRecord(
+        bench=bench,
+        name=name,
+        config=dict(config or {}),
+        wall_seconds=wall_seconds,
+        events=events,
+        events_per_sec=events / wall_seconds if wall_seconds > 0 and events else 0.0,
+        throughput=throughput,
+        latency_p50=latency_p50,
+        latency_p95=latency_p95,
+    )
+
+
+# -- IO -----------------------------------------------------------------------
+
+
+def write_bench_file(
+    path: pathlib.Path | str, bench: str, records: _t.Sequence[BenchRecord]
+) -> pathlib.Path:
+    """Write one bench module's records; creates parent dirs on first use."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "bench": bench,
+        "records": [r.to_dict() for r in sorted(records, key=lambda r: r.name)],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_file(path: pathlib.Path | str) -> list[BenchRecord]:
+    """Records of one JSON file (raises ValueError on schema mismatch)."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported schema {data.get('schema')!r}")
+    return [BenchRecord.from_dict(r) for r in data.get("records", [])]
+
+
+def load_records(directory: pathlib.Path | str) -> dict[tuple[str, str], BenchRecord]:
+    """All records under ``directory/*.json``, keyed by (bench, name)."""
+    directory = pathlib.Path(directory)
+    records: dict[tuple[str, str], BenchRecord] = {}
+    for path in sorted(directory.glob("*.json")):
+        for record in load_bench_file(path):
+            records[record.key] = record
+    return records
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Verdict for one baseline record against the current run."""
+
+    key: tuple[str, str]
+    baseline: float  # baseline events_per_sec
+    current: float | None  # run events_per_sec, None when missing
+    ratio: float | None  # current / baseline
+    status: str  # "ok" | "regression" | "missing"
+
+    def describe(self) -> str:
+        bench, name = self.key
+        if self.status == "missing":
+            return f"MISSING     {bench}:{name} (no record in run)"
+        assert self.current is not None and self.ratio is not None
+        tag = "REGRESSION" if self.status == "regression" else "ok"
+        return (
+            f"{tag:<11} {bench}:{name} "
+            f"{self.current:>12,.0f} ev/s vs baseline {self.baseline:>12,.0f} "
+            f"({self.ratio:.2f}x)"
+        )
+
+
+def compare(
+    run: dict[tuple[str, str], "BenchRecord"],
+    baseline: dict[tuple[str, str], "BenchRecord"],
+    tolerance: float = 0.25,
+) -> list[Comparison]:
+    """Diff a run against a baseline on ``events_per_sec``.
+
+    Every baseline record with a non-zero events rate must be present in
+    the run and within ``tolerance`` (relative drop) of the baseline;
+    wall-clock-only baselines (``events_per_sec == 0``) only need to be
+    present.  Extra run records are fine — they become the next
+    baseline on refresh.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    out: list[Comparison] = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        current = run.get(key)
+        if current is None:
+            out.append(Comparison(key, base.events_per_sec, None, None, "missing"))
+            continue
+        if base.events_per_sec <= 0.0:
+            out.append(Comparison(key, 0.0, current.events_per_sec, 1.0, "ok"))
+            continue
+        ratio = current.events_per_sec / base.events_per_sec
+        status = "regression" if ratio < 1.0 - tolerance else "ok"
+        out.append(Comparison(key, base.events_per_sec, current.events_per_sec, ratio, status))
+    return out

@@ -15,6 +15,7 @@ the time span" exactly as the paper does.
 
 from __future__ import annotations
 
+import math
 import typing as _t
 from dataclasses import dataclass, field
 
@@ -27,6 +28,7 @@ __all__ = [
     "RequestRecord",
     "RequestLog",
     "MetricsSummary",
+    "StreamingLatency",
     "summarize",
     "ResilienceSummary",
     "resilience_summary",
@@ -69,6 +71,86 @@ class RequestLog:
         return sum(1 for r in self.records if r.outcome == outcome)
 
 
+class StreamingLatency:
+    """Streaming percentile accumulator over a log-spaced histogram.
+
+    Latencies are folded in one at a time — O(1) per observation, fixed
+    memory — instead of appending to a list that must be sorted at
+    reduction time.  Quantiles come from the cumulative histogram with
+    geometric interpolation inside the hit bucket; exact ``min``/``max``
+    tighten the extreme quantiles.  The default range (100 µs .. 10 ks,
+    512 buckets) spans everything the study produces at ~3.6% relative
+    resolution per bucket, which is far below run-to-run noise.
+    """
+
+    __slots__ = ("lo", "hi", "counts", "count", "total", "min", "max", "_log_lo", "_inv_width")
+
+    def __init__(self, lo: float = 1e-4, hi: float = 1e4, buckets: int = 512) -> None:
+        if not (0 < lo < hi) or buckets < 2:
+            raise ValueError(f"bad histogram shape: lo={lo} hi={hi} buckets={buckets}")
+        self.lo = lo
+        self.hi = hi
+        self.counts = [0] * buckets
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._log_lo = math.log(lo)
+        self._inv_width = buckets / (math.log(hi) - self._log_lo)
+
+    def add(self, value: float) -> None:
+        """Fold one latency observation into the histogram."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.lo:
+            index = 0
+        else:
+            index = int((math.log(value) - self._log_lo) * self._inv_width)
+            last = len(self.counts) - 1
+            if index > last:
+                index = last
+        self.counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            seen += bucket_count
+            if seen >= rank:
+                # Geometric midpoint-ish interpolation inside the bucket,
+                # clamped to the exact observed extremes.
+                edge = 1.0 / self._inv_width
+                low = math.exp(self._log_lo + index * edge)
+                high = math.exp(self._log_lo + (index + 1) * edge)
+                fraction = 1.0 - (seen - rank) / bucket_count
+                estimate = low * (high / low) ** fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+
 @dataclass(frozen=True)
 class MetricsSummary:
     """The four figures' worth of numbers for one experiment point."""
@@ -82,6 +164,11 @@ class MetricsSummary:
     timeouts: int
     errors: int
     window: float
+    # Streaming-histogram latency percentiles over successful queries in
+    # the window.  Not part of any paper figure (tables stay byte-for-
+    # byte); recorded for the machine-readable benchmark side-channel.
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -223,6 +310,9 @@ def summarize(
     response = (
         sum(r.duration for r in successes) / len(successes) if successes else 0.0
     )
+    latency = StreamingLatency()
+    for r in successes:
+        latency.add(r.duration)
     cpu_load, load1 = monitor.window_average(server_host, window_start, window_end)
     return MetricsSummary(
         throughput=throughput,
@@ -234,4 +324,6 @@ def summarize(
         timeouts=sum(1 for r in in_window if r.outcome == OUTCOME_TIMEOUT),
         errors=sum(1 for r in in_window if r.outcome == OUTCOME_ERROR),
         window=window,
+        latency_p50=latency.p50,
+        latency_p95=latency.p95,
     )

@@ -5,13 +5,22 @@ It is deliberately small: all behaviour lives in events, processes and
 resources layered on top.  The engine is fully deterministic — ties in
 time are broken by insertion order — which makes every experiment in the
 study exactly reproducible from its seed.
+
+Performance notes (see ``benchmarks/profile_engine.py``): the schedule
+entries are plain ``(time, seq, event)`` tuples — CPython's tuple free
+list makes them both cheaper to allocate and faster to compare than
+reusable list slots, which we measured before choosing.  The sequence
+counter is a bare int (``itertools.count`` pays a C-call per event), and
+:meth:`run` inlines :meth:`step` so the hot loop touches no method
+descriptors.  None of this changes scheduling order: every event is
+still assigned the same ``(time, seq)`` key it always was, which is what
+keeps the committed figure tables byte-identical.
 """
 
 from __future__ import annotations
 
-import heapq
 import typing as _t
-from itertools import count
+from heapq import heappop, heappush
 
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -38,7 +47,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
-        self._seq = count()
+        self._seq = 0
         self._processed = 0
 
     # -- clock ----------------------------------------------------------------
@@ -80,7 +89,9 @@ class Simulator:
     def _schedule(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (self._now + delay, seq, event))
 
     def call_at(self, when: float, callback: _t.Callable[[], None]) -> Event:
         """Run ``callback`` at absolute time ``when``; returns the timer event.
@@ -103,7 +114,7 @@ class Simulator:
         """Process a single event."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = heappop(self._heap)
         self._now = when
         self._processed += 1
         event._process()
@@ -115,12 +126,27 @@ class Simulator:
         even if the last event fires earlier, so periodic samplers can rely
         on the final timestamp.
         """
+        heap = self._heap
+        pop = heappop
+        processed = self._processed
         if until is None:
-            while self._heap:
-                self.step()
+            try:
+                while heap:
+                    when, _seq, event = pop(heap)
+                    self._now = when
+                    processed += 1
+                    event._process()
+            finally:
+                self._processed = processed
             return
         if until < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
+        try:
+            while heap and heap[0][0] <= until:
+                when, _seq, event = pop(heap)
+                self._now = when
+                processed += 1
+                event._process()
+        finally:
+            self._processed = processed
         self._now = until

@@ -10,6 +10,7 @@ once, when the engine pops them off the schedule.
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush
 
 from repro.errors import SimulationError
 
@@ -71,7 +72,12 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.sim._schedule(self, 0.0)
+        # Inlined Simulator._schedule(self, 0.0): triggering is the
+        # engine's hottest entry point, so it books the heap slot itself.
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(sim._heap, (sim._now, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -83,16 +89,21 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.sim._schedule(self, 0.0)
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(sim._heap, (sim._now, seq, self))
         return self
 
     # -- engine hook ---------------------------------------------------------
     def _process(self) -> None:
         """Run callbacks; called exactly once by the engine."""
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
@@ -103,7 +114,9 @@ class Timeout(Event):
     """An event that fires automatically ``delay`` seconds after creation.
 
     The event stays *pending* until the engine processes it, so
-    ``triggered`` answers "has the delay elapsed?".
+    ``triggered`` answers "has the delay elapsed?".  Processing jumps
+    straight to *processed* (a superset of *triggered*), so the base
+    ``_process`` applies unchanged.
     """
 
     __slots__ = ()
@@ -111,14 +124,16 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: _t.Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self._ok = True
+        # Event.__init__ unrolled: timeouts are the most-allocated object
+        # in a run and the super() dispatch is measurable.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay)
-
-    def _process(self) -> None:
-        self._state = TRIGGERED
-        super()._process()
+        self._ok = True
+        self._state = PENDING
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(sim._heap, (sim._now + delay, seq, self))
 
 
 class _Condition(Event):

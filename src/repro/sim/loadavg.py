@@ -13,6 +13,12 @@ import math
 
 __all__ = ["LoadAverage"]
 
+# exp(-dt/period) per period, memoized by dt: the Ganglia monitor samples
+# every host on a fixed tick, so in steady state every call hits the
+# cache instead of paying three math.exp() per host per tick.  Values
+# are bit-identical to recomputation (same expression, computed once).
+_DECAY_CACHE: dict[float, tuple[float, ...]] = {}
+
 
 class LoadAverage:
     """One/five/fifteen-minute damped averages of a sampled quantity."""
@@ -46,6 +52,11 @@ class LoadAverage:
         """
         if dt <= 0:
             return
-        for i, period in enumerate(self.PERIODS):
-            decay = math.exp(-dt / period)
-            self._loads[i] = self._loads[i] * decay + runnable * (1.0 - decay)
+        decays = _DECAY_CACHE.get(dt)
+        if decays is None:
+            decays = tuple(math.exp(-dt / period) for period in self.PERIODS)
+            if len(_DECAY_CACHE) < 4096:  # bound growth under adversarial dt spreads
+                _DECAY_CACHE[dt] = decays
+        loads = self._loads
+        for i, decay in enumerate(decays):
+            loads[i] = loads[i] * decay + runnable * (1.0 - decay)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.errors import SimulationError
+from repro.sim.events import Timeout
 from repro.sim.host import Host
 from repro.sim.sharing import ProcessorSharing
 
@@ -32,6 +33,12 @@ class Network:
         self.default_latency = default_latency
         self._latency: dict[frozenset[str], float] = {}
         self._shared: dict[frozenset[str], ProcessorSharing] = {}
+        # Ordered-pair caches: transfer() runs for every message, and a
+        # frozenset allocation per lookup is measurable there.  Both are
+        # derived views of the frozenset-keyed tables above and flushed
+        # whenever the topology changes.
+        self._latency_cache: dict[tuple[str, str], float] = {}
+        self._link_cache: dict[tuple[str, str], ProcessorSharing | None] = {}
         self.bytes_transferred = 0
         self.messages = 0
 
@@ -41,6 +48,7 @@ class Network:
         if seconds < 0:
             raise SimulationError(f"negative latency: {seconds}")
         self._latency[frozenset((site_a, site_b))] = seconds
+        self._latency_cache.clear()
 
     def add_shared_link(self, site_a: str, site_b: str, mbps: float) -> ProcessorSharing:
         """Install a shared bottleneck link between two sites.
@@ -52,15 +60,37 @@ class Network:
             self.sim, rate=mbps * 1e6 / 8.0, servers=1, name=f"link:{site_a}<->{site_b}"
         )
         self._shared[frozenset((site_a, site_b))] = link
+        self._link_cache.clear()
+        return link
+
+    def _site_latency(self, src_site: str, dst_site: str) -> float:
+        """Latency between two (possibly equal) sites, memoized per pair."""
+        key = (src_site, dst_site)
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            if src_site == dst_site:
+                cached = self._latency.get(frozenset((src_site,)), self.default_latency)
+            else:
+                cached = self._latency.get(
+                    frozenset((src_site, dst_site)), self.default_latency
+                )
+            self._latency_cache[key] = cached
+        return cached
+
+    def _site_link(self, src_site: str, dst_site: str) -> ProcessorSharing | None:
+        """Shared bottleneck link between two sites, memoized per pair."""
+        key = (src_site, dst_site)
+        if key in self._link_cache:
+            return self._link_cache[key]
+        link = self._shared.get(frozenset((src_site, dst_site)))
+        self._link_cache[key] = link
         return link
 
     def latency(self, src: Host, dst: Host) -> float:
         """One-way delay between two hosts."""
         if src is dst:
             return _LOOPBACK_LATENCY
-        if src.site == dst.site:
-            return self._latency.get(frozenset((src.site,)), self.default_latency)
-        return self._latency.get(frozenset((src.site, dst.site)), self.default_latency)
+        return self._site_latency(src.site, dst.site)
 
     # -- data movement ----------------------------------------------------------
     def transfer(self, src: Host, dst: Host, nbytes: int) -> _t.Generator:
@@ -72,13 +102,16 @@ class Network:
         """
         self.messages += 1
         self.bytes_transferred += nbytes
+        sim = self.sim
         if src is dst:
-            yield self.sim.timeout(_LOOPBACK_LATENCY)
+            yield Timeout(sim, _LOOPBACK_LATENCY)
             return nbytes
         yield src.nic_out.serve(nbytes)
-        link = self._shared.get(frozenset((src.site, dst.site)))
+        src_site = src.site
+        dst_site = dst.site
+        link = self._site_link(src_site, dst_site)
         if link is not None:
             yield link.serve(nbytes)
-        yield self.sim.timeout(self.latency(src, dst))
+        yield Timeout(sim, self._site_latency(src_site, dst_site))
         yield dst.nic_in.serve(nbytes)
         return nbytes

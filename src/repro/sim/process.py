@@ -13,7 +13,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.errors import InterruptError, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import PROCESSED, Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -24,7 +24,7 @@ __all__ = ["Process"]
 class Process(Event):
     """A running generator inside the simulation; also an awaitable event."""
 
-    __slots__ = ("name", "_generator", "_waiting_on", "_alive")
+    __slots__ = ("name", "_generator", "_waiting_on", "_alive", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: _t.Generator, name: str | None = None) -> None:
         if not hasattr(generator, "send"):
@@ -37,9 +37,12 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Event | None = None
         self._alive = True
+        # One bound method for the process's whole life: every yield would
+        # otherwise allocate a fresh ``self._resume`` bound-method object.
+        self._resume_cb = self._resume
         # Kick off at the current time via a zero-delay bootstrap event.
         boot = Event(sim)
-        boot.callbacks.append(self._resume)
+        boot.callbacks.append(self._resume_cb)
         boot.succeed()
 
     # -- lifecycle ---------------------------------------------------------
@@ -60,12 +63,12 @@ class Process(Event):
         if target is not None:
             # Stop listening to whatever we were waiting for.
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
             self._waiting_on = None
         wake = Event(self.sim)
-        wake.callbacks.append(self._resume)
+        wake.callbacks.append(self._resume_cb)
         wake.fail(InterruptError(cause))
 
     # -- engine callback ----------------------------------------------------
@@ -73,11 +76,12 @@ class Process(Event):
         if not self._alive:
             return
         self._waiting_on = None
+        generator = self._generator
         try:
-            if trigger.ok:
-                target = self._generator.send(trigger.value)
+            if trigger._ok:
+                target = generator.send(trigger._value)
             else:
-                target = self._generator.throw(trigger.value)
+                target = generator.throw(trigger._value)
         except StopIteration as stop:
             self._alive = False
             self.succeed(stop.value)
@@ -91,18 +95,18 @@ class Process(Event):
             err = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield events"
             )
-            self._generator.close()
+            generator.close()
             self.fail(err)
             return
-        if target.processed:
+        if target._state == PROCESSED:
             # Already done: resume on a fresh zero-delay event carrying its
             # outcome so execution order stays deterministic.
             relay = Event(self.sim)
-            relay.callbacks.append(self._resume)
-            if target.ok:
-                relay.succeed(target.value)
+            relay.callbacks.append(self._resume_cb)
+            if target._ok:
+                relay.succeed(target._value)
             else:
-                relay.fail(target.value)
+                relay.fail(target._value)
             return
         self._waiting_on = target
-        target.callbacks.append(self._resume)
+        target.callbacks.append(self._resume_cb)

@@ -50,7 +50,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """A message delivered to a service handler."""
 
@@ -60,9 +60,13 @@ class Request:
     issued_at: float
 
 
-@dataclass
+@dataclass(slots=True)
 class Response:
-    """What a handler returns: a value plus its wire size in bytes."""
+    """What a handler returns: a value plus its wire size in bytes.
+
+    Both message classes use slots: one of each is allocated per
+    simulated RPC, where dict-backed instances were measurable.
+    """
 
     value: _t.Any
     size: int = 1024
@@ -358,15 +362,18 @@ class Service:
     def _serve(self, request: Request) -> _t.Generator:
         """Full server-side lifecycle of one admitted connection."""
         stats = self.stats
-        stats.max_concurrent = max(stats.max_concurrent, self.concurrent + 1)
+        concurrent = self._active + len(self._slot_waiters) + 1
+        if concurrent > stats.max_concurrent:
+            stats.max_concurrent = concurrent
         yield self._acquire_thread()
         started = self.sim.now
         try:
-            if self.faults is not None:
+            faults = self.faults
+            if faults is not None:
                 # Injected stall: the handler thread is held the whole
                 # time, so stalls eat pool capacity like real hung
                 # providers do.
-                stall = self.faults.stall_delay()
+                stall = faults.stall_delay()
                 if stall > 0:
                     yield self.sim.timeout(stall)
             if self.conn_overhead is not None:
@@ -495,20 +502,28 @@ def _lifecycle(
 ) -> _t.Generator:
     request = Request(payload=payload, size=size, client=client, issued_at=sim.now)
     yield from net.transfer(client, service.host, size)
-    service.stats.arrived += 1
-    if service.crashed:
-        service.stats.refused += 1
-        raise ServiceUnavailableError(f"service {service.name} crashed: {service.crash_reason}")
-    if service.down:
-        service.stats.refused += 1
-        service.stats.refusal_log.append(sim.now)
-        raise ServiceUnavailableError(f"service {service.name} down: {service.down_reason}")
-    if service.faults is not None and service.faults.drop_request():
-        service.stats.dropped += 1
-        raise ServiceUnavailableError(f"service {service.name} dropped the connection")
-    if service.concurrent >= service.max_threads + service.backlog:
-        service.stats.refused += 1
-        service.stats.refusal_log.append(sim.now)
+    stats = service.stats
+    stats.arrived += 1
+    # Fast path: a healthy service with no fault injector attached skips
+    # the per-condition checks (and the injector's RNG draw) entirely.
+    if service.crashed or service.down or service.faults is not None:
+        if service.crashed:
+            stats.refused += 1
+            raise ServiceUnavailableError(
+                f"service {service.name} crashed: {service.crash_reason}"
+            )
+        if service.down:
+            stats.refused += 1
+            stats.refusal_log.append(sim.now)
+            raise ServiceUnavailableError(
+                f"service {service.name} down: {service.down_reason}"
+            )
+        if service.faults.drop_request():
+            stats.dropped += 1
+            raise ServiceUnavailableError(f"service {service.name} dropped the connection")
+    if service._active + len(service._slot_waiters) >= service.max_threads + service.backlog:
+        stats.refused += 1
+        stats.refusal_log.append(sim.now)
         # TCP RST back to the client is effectively free but not instant.
         yield from net.transfer(service.host, client, 64)
         raise ServiceUnavailableError(f"service {service.name} refused connection (backlog full)")

@@ -18,13 +18,12 @@ the hot path of the whole simulation (see ``benchmarks/bench_substrates``).
 
 from __future__ import annotations
 
-import heapq
 import typing as _t
 from dataclasses import dataclass
-from itertools import count
+from heapq import heappop, heappush
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import PENDING, PROCESSED, Event, Timeout
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -33,6 +32,43 @@ __all__ = ["ProcessorSharing", "PsSnapshot"]
 
 # Tolerance when matching virtual-time targets at completion instants.
 _VT_EPS = 1e-9
+
+
+class _PsTimer(Timeout):
+    """Completion timer that dispatches straight into its PS queue.
+
+    Replaces the old ``sim.call_at(when, lambda: ps._on_timer(token))``
+    arrangement — two closures and an extra frame per (re)arm on the
+    single hottest scheduling path in the simulation.  Scheduling
+    behaviour is identical: one timer event at the same ``(time, seq)``
+    key; only the dispatch is direct.
+    """
+
+    __slots__ = ("_ps", "_token")
+
+    def __init__(self, sim: "Simulator", delay: float, ps: "ProcessorSharing", token: int) -> None:
+        # Timeout.__init__ unrolled (one timer per queue re-arm; the
+        # constructor chain is pure overhead).  ``delay`` is >= 0 by
+        # construction at the re-arm sites in serve()/_on_timer().
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = PENDING
+        self._ps = ps
+        self._token = token
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(sim._heap, (sim._now + delay, seq, self))
+
+    def _process(self) -> None:
+        self._state = PROCESSED
+        self._ps._on_timer(self._token)
+        callbacks = self.callbacks
+        if callbacks:  # nothing normally waits on a PS timer
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
 
 @dataclass(frozen=True)
@@ -72,7 +108,7 @@ class ProcessorSharing:
         self._vt = 0.0
         self._last_t = 0.0
         self._heap: list[tuple[float, int, Event]] = []
-        self._seq = count()
+        self._seq = 0
         self._timer_token = 0
         # statistics
         self._busy_int = 0.0
@@ -99,45 +135,70 @@ class ProcessorSharing:
         )
 
     # -- core mechanics ---------------------------------------------------------
-    def _rate_per_job(self) -> float:
-        n = len(self._heap)
-        if n == 0:
-            return 0.0
-        return self.rate * min(1.0, self.servers / n)
-
     def _advance(self, t: float) -> None:
+        """Roll the virtual clock and stat integrals forward to ``t``.
+
+        Cold-path copy (snapshot()); the hot entry points below inline
+        this body.
+        """
         dt = t - self._last_t
         if dt <= 0:
             return
         n = len(self._heap)
         if n:
-            self._busy_int += (min(n, self.servers) / self.servers) * dt
+            servers = self.servers
+            self._busy_int += (min(n, servers) / servers) * dt
             self._jobs_int += n * dt
-            self._vt += self._rate_per_job() * dt
+            self._vt += (self.rate * min(1.0, servers / n)) * dt
         self._last_t = t
 
-    def _reschedule(self) -> None:
-        """Arm a completion timer for the earliest job target."""
-        self._timer_token += 1
-        if not self._heap:
-            return
-        token = self._timer_token
-        target = self._heap[0][0]
-        rate = self._rate_per_job()
-        eta = max(0.0, (target - self._vt) / rate)
-        self.sim.call_at(self.sim.now + eta, lambda: self._on_timer(token))
-
     def _on_timer(self, token: int) -> None:
-        if token != self._timer_token or not self._heap:
+        # The two hottest entry points (here and serve()) inline
+        # _advance/_reschedule bodies: together they fire ~2x per
+        # simulated job and the method-call overhead was the top
+        # remaining cost in the engine profile.  The min()/max() calls
+        # are replaced by branches whose both arms evaluate the exact
+        # float expressions of the original _advance()/_reschedule()
+        # bodies — bit-equal results, so event timestamps (and figure
+        # tables) cannot move.  The timer delay keeps the historical
+        # (now + eta) - now double rounding for the same reason.
+        heap = self._heap
+        if token != self._timer_token or not heap:
             return  # stale timer: state changed since it was armed
-        self._advance(self.sim.now)
+        sim = self.sim
+        now = sim._now
+        dt = now - self._last_t
+        if dt > 0:
+            n = len(heap)
+            servers = self.servers
+            if n >= servers:
+                self._busy_int += dt
+                self._vt += (self.rate * (servers / n)) * dt
+            else:
+                self._busy_int += (n / servers) * dt
+                self._vt += self.rate * dt
+            self._jobs_int += n * dt
+            self._last_t = now
         # The earliest job completes exactly now; clamp away fp drift.
-        self._vt = max(self._vt, self._heap[0][0])
-        while self._heap and self._heap[0][0] <= self._vt + _VT_EPS:
-            target, _seq, event = heapq.heappop(self._heap)
-            self._completed += 1
+        vt = self._vt
+        head = heap[0][0]
+        if head > vt:
+            vt = self._vt = head
+        cutoff = vt + _VT_EPS
+        completed = self._completed
+        while heap and heap[0][0] <= cutoff:
+            _target, _seq, event = heappop(heap)
+            completed += 1
             event.succeed()
-        self._reschedule()
+        self._completed = completed
+        token = self._timer_token = self._timer_token + 1
+        if not heap:
+            return
+        n = len(heap)
+        servers = self.servers
+        rate = self.rate if n <= servers else self.rate * (servers / n)
+        eta = max(0.0, (heap[0][0] - self._vt) / rate)
+        _PsTimer(sim, (now + eta) - now, self, token)
 
     # -- public operation ----------------------------------------------------
     def serve(self, work: float) -> Event:
@@ -146,12 +207,35 @@ class ProcessorSharing:
         Zero (or negative) work completes immediately without joining the
         queue.
         """
-        event = Event(self.sim)
+        sim = self.sim
+        event = Event(sim)
         if work <= 0:
             event.succeed()
             return event
-        self._advance(self.sim.now)
+        # _advance/_reschedule inlined; see the note in _on_timer.
+        heap = self._heap
+        now = sim._now
+        dt = now - self._last_t
+        if dt > 0:
+            n = len(heap)
+            if n:
+                servers = self.servers
+                if n >= servers:
+                    self._busy_int += dt
+                    self._vt += (self.rate * (servers / n)) * dt
+                else:
+                    self._busy_int += (n / servers) * dt
+                    self._vt += self.rate * dt
+                self._jobs_int += n * dt
+            self._last_t = now
         self._work_completed += work  # counted at admission; conserved at completion
-        heapq.heappush(self._heap, (self._vt + work, next(self._seq), event))
-        self._reschedule()
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(heap, (self._vt + work, seq, event))
+        token = self._timer_token = self._timer_token + 1
+        n = len(heap)
+        servers = self.servers
+        rate = self.rate if n <= servers else self.rate * (servers / n)
+        eta = max(0.0, (heap[0][0] - self._vt) / rate)
+        _PsTimer(sim, (now + eta) - now, self, token)
         return event

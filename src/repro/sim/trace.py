@@ -102,7 +102,21 @@ class Tracer:
             )
             return response
 
+        traced.__wrapped__ = inner  # unwrap hook for uninstrument_service
         service.handler = traced
+
+    def uninstrument_service(self, service: Service) -> bool:
+        """Undo :meth:`instrument_service`, restoring the original handler.
+
+        Returns False (and leaves the service alone) when the handler is
+        not one of this tracer's wrappers.  Nested instrumentation peels
+        one layer per call.
+        """
+        inner = getattr(service.handler, "__wrapped__", None)
+        if inner is None:
+            return False
+        service.handler = inner
+        return True
 
     # -- analysis ------------------------------------------------------------
     def by_kind(self, kind: str) -> list[TraceRecord]:

@@ -1,0 +1,217 @@
+"""Tests for the benchmark JSON side-channel and the repro-bench CLI."""
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from repro.core import benchcli
+from repro.core.benchjson import (
+    BenchRecord,
+    compare,
+    load_bench_file,
+    load_records,
+    record_from_result,
+    write_bench_file,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeSummary:
+    throughput: float = 10.0
+    latency_p50: float = 0.5
+    latency_p95: float = 1.5
+
+
+@dataclasses.dataclass(frozen=True)
+class FakePoint:
+    sim_events: int = 1000
+    summary: FakeSummary = dataclasses.field(default_factory=FakeSummary)
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeWrapper:
+    result: FakePoint
+
+
+def _record(name="p", events_per_sec=100.0, bench="b"):
+    return BenchRecord(
+        bench=bench, name=name, wall_seconds=1.0, events=int(events_per_sec),
+        events_per_sec=events_per_sec,
+    )
+
+
+# -- record extraction --------------------------------------------------------
+
+
+def test_record_from_point_result_computes_rate_and_metrics():
+    rec = record_from_result("b", "p", 0.5, FakePoint(), config={"users": 10})
+    assert rec.events == 1000
+    assert rec.events_per_sec == pytest.approx(2000.0)
+    assert rec.throughput == 10.0
+    assert rec.latency_p50 == 0.5 and rec.latency_p95 == 1.5
+    assert rec.config == {"users": 10}
+
+
+def test_record_aggregates_sweeps_and_unwraps_nested_shapes():
+    shapes = [FakePoint(sim_events=100), FakeWrapper(FakePoint(sim_events=200)),
+              {"label": FakePoint(sim_events=300)}]
+    rec = record_from_result("b", "p", 1.0, shapes)
+    assert rec.events == 600
+    assert rec.throughput == pytest.approx(10.0)  # mean across points
+
+
+def test_record_without_points_is_wall_only():
+    rec = record_from_result("b", "p", 2.5, result=["not", "points"])
+    assert rec.events == 0
+    assert rec.events_per_sec == 0.0
+    assert rec.wall_seconds == 2.5
+
+
+# -- file IO ------------------------------------------------------------------
+
+
+def test_write_creates_directories_and_round_trips(tmp_path):
+    target = tmp_path / "deep" / "dir" / "bench_x.json"
+    write_bench_file(target, "bench_x", [_record("b_point"), _record("a_point")])
+    loaded = load_bench_file(target)
+    # Records are sorted by name for diff-stable output.
+    assert [r.name for r in loaded] == ["a_point", "b_point"]
+    assert loaded[0] == _record("a_point")
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": 99, "records": []}))
+    with pytest.raises(ValueError, match="unsupported schema"):
+        load_bench_file(path)
+
+
+def test_load_records_keys_by_bench_and_name(tmp_path):
+    write_bench_file(tmp_path / "one.json", "b1", [_record("p", bench="b1")])
+    write_bench_file(tmp_path / "two.json", "b2", [_record("p", bench="b2")])
+    records = load_records(tmp_path)
+    assert set(records) == {("b1", "p"), ("b2", "p")}
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+def _as_map(*records):
+    return {r.key: r for r in records}
+
+
+def test_compare_ok_within_tolerance():
+    results = compare(
+        _as_map(_record(events_per_sec=80.0)),
+        _as_map(_record(events_per_sec=100.0)),
+        tolerance=0.25,
+    )
+    assert [r.status for r in results] == ["ok"]
+
+
+def test_compare_flags_regression_beyond_tolerance():
+    results = compare(
+        _as_map(_record(events_per_sec=70.0)),
+        _as_map(_record(events_per_sec=100.0)),
+        tolerance=0.25,
+    )
+    assert [r.status for r in results] == ["regression"]
+    assert results[0].ratio == pytest.approx(0.7)
+
+
+def test_compare_flags_missing_run_records():
+    results = compare({}, _as_map(_record()), tolerance=0.25)
+    assert [r.status for r in results] == ["missing"]
+
+
+def test_compare_wall_only_baselines_only_need_presence():
+    base = _record(events_per_sec=0.0)
+    run = _record(events_per_sec=0.0)
+    assert [r.status for r in compare(_as_map(run), _as_map(base))] == ["ok"]
+    assert [r.status for r in compare({}, _as_map(base))] == ["missing"]
+
+
+def test_compare_ignores_extra_run_records():
+    run = _as_map(_record("p"), _record("new_bench"))
+    results = compare(run, _as_map(_record("p")))
+    assert len(results) == 1
+
+
+def test_compare_rejects_bad_tolerance():
+    with pytest.raises(ValueError):
+        compare({}, {}, tolerance=1.5)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _write_dirs(tmp_path, run_rate, baseline_rate):
+    run_dir = tmp_path / "results"
+    base_dir = tmp_path / "baselines"
+    write_bench_file(run_dir / "b.json", "b", [_record(events_per_sec=run_rate)])
+    write_bench_file(base_dir / "b.json", "b", [_record(events_per_sec=baseline_rate)])
+    return run_dir, base_dir
+
+
+def _run_cli(*argv):
+    out = io.StringIO()
+    code = benchcli.main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_cli_compare_passes_on_equal_records(tmp_path):
+    run_dir, base_dir = _write_dirs(tmp_path, 100.0, 100.0)
+    code, out = _run_cli("compare", "--run", str(run_dir), "--baseline", str(base_dir))
+    assert code == benchcli.EXIT_OK
+    assert "0 failing" in out
+
+
+def test_cli_compare_fails_on_inflated_baseline(tmp_path):
+    """The acceptance check: a baseline faster than reality must gate."""
+    run_dir, base_dir = _write_dirs(tmp_path, run_rate=100.0, baseline_rate=200.0)
+    code, out = _run_cli(
+        "compare", "--run", str(run_dir), "--baseline", str(base_dir),
+        "--tolerance", "0.25",
+    )
+    assert code == benchcli.EXIT_REGRESSION
+    assert "REGRESSION" in out
+
+
+def test_cli_compare_tolerance_is_configurable(tmp_path):
+    run_dir, base_dir = _write_dirs(tmp_path, run_rate=60.0, baseline_rate=100.0)
+    code, _ = _run_cli(
+        "compare", "--run", str(run_dir), "--baseline", str(base_dir),
+        "--tolerance", "0.5",
+    )
+    assert code == benchcli.EXIT_OK
+
+
+def test_cli_compare_errors_without_baselines(tmp_path):
+    run_dir = tmp_path / "results"
+    write_bench_file(run_dir / "b.json", "b", [_record()])
+    empty = tmp_path / "baselines"
+    empty.mkdir()
+    code, _ = _run_cli("compare", "--run", str(run_dir), "--baseline", str(empty))
+    assert code == benchcli.EXIT_ERROR
+
+
+def test_cli_baseline_copies_run_records(tmp_path):
+    run_dir = tmp_path / "results"
+    base_dir = tmp_path / "baselines"
+    write_bench_file(run_dir / "b.json", "b", [_record(events_per_sec=123.0)])
+    code, _ = _run_cli("baseline", "--run", str(run_dir), "--baseline", str(base_dir))
+    assert code == benchcli.EXIT_OK
+    assert load_records(base_dir)[("b", "p")].events_per_sec == 123.0
+    # Refreshed baselines now compare clean.
+    code, _ = _run_cli("compare", "--run", str(run_dir), "--baseline", str(base_dir))
+    assert code == benchcli.EXIT_OK
+
+
+def test_cli_show_lists_records(tmp_path):
+    run_dir = tmp_path / "results"
+    write_bench_file(run_dir / "b.json", "b", [_record("my_point")])
+    code, out = _run_cli("show", "--run", str(run_dir))
+    assert code == benchcli.EXIT_OK
+    assert "b:my_point" in out

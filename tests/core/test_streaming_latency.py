@@ -1,0 +1,91 @@
+"""Tests for the streaming percentile accumulator in core.metrics."""
+
+import random
+
+import pytest
+
+from repro.core.metrics import StreamingLatency
+
+
+def test_empty_accumulator_reports_zeros():
+    lat = StreamingLatency()
+    assert lat.count == 0
+    assert lat.mean == 0.0
+    assert lat.p50 == 0.0
+    assert lat.p95 == 0.0
+
+
+def test_single_observation_is_every_quantile():
+    lat = StreamingLatency()
+    lat.add(0.25)
+    assert lat.min == lat.max == 0.25
+    assert lat.mean == 0.25
+    # min/max clamping pins every quantile to the one exact value.
+    assert lat.quantile(0.0) == 0.25
+    assert lat.p50 == 0.25
+    assert lat.quantile(1.0) == 0.25
+
+
+def test_mean_is_exact_not_estimated():
+    lat = StreamingLatency()
+    for v in (0.1, 0.2, 0.3, 0.4):
+        lat.add(v)
+    assert lat.mean == pytest.approx(0.25, rel=1e-12)
+    assert lat.count == 4
+
+
+def test_quantiles_within_bucket_resolution_of_exact():
+    """512 log buckets over 1e-4..1e4 give ~3.6% worst-case bucket error."""
+    rng = random.Random(7)
+    values = [rng.lognormvariate(0.0, 1.0) for _ in range(20_000)]
+    lat = StreamingLatency()
+    for v in values:
+        lat.add(v)
+    values.sort()
+    for q in (0.05, 0.5, 0.95, 0.99):
+        exact = values[min(len(values) - 1, int(q * len(values)))]
+        assert lat.quantile(q) == pytest.approx(exact, rel=0.05), q
+
+
+def test_out_of_range_observations_clamp_to_edge_buckets():
+    lat = StreamingLatency(lo=1e-3, hi=1e3)
+    lat.add(1e-9)  # below lo
+    lat.add(1e9)  # above hi
+    assert lat.count == 2
+    assert lat.min == 1e-9 and lat.max == 1e9
+    # Estimates stay inside the observed envelope despite clamping.
+    assert 1e-9 <= lat.p50 <= 1e9
+
+
+def test_quantile_monotone_in_q():
+    lat = StreamingLatency()
+    rng = random.Random(11)
+    for _ in range(5_000):
+        lat.add(rng.uniform(0.01, 10.0))
+    qs = [lat.quantile(q / 20) for q in range(21)]
+    assert all(b >= a for a, b in zip(qs, qs[1:]))
+
+
+def test_quantile_validates_range():
+    lat = StreamingLatency()
+    with pytest.raises(ValueError):
+        lat.quantile(1.5)
+    with pytest.raises(ValueError):
+        lat.quantile(-0.1)
+
+
+def test_constructor_validates_shape():
+    with pytest.raises(ValueError):
+        StreamingLatency(lo=0.0)
+    with pytest.raises(ValueError):
+        StreamingLatency(lo=2.0, hi=1.0)
+    with pytest.raises(ValueError):
+        StreamingLatency(buckets=1)
+
+
+def test_memory_is_fixed_regardless_of_observation_count():
+    lat = StreamingLatency(buckets=64)
+    for i in range(10_000):
+        lat.add(0.001 * (i % 97 + 1))
+    assert len(lat.counts) == 64
+    assert lat.count == 10_000

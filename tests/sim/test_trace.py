@@ -107,3 +107,66 @@ def test_render_contains_tail():
     tracer.mark("beta", n=2)
     text = tracer.render()
     assert "alpha" in text and "beta" in text and "n=2" in text
+
+
+def test_render_limit_truncates_to_tail():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    for i in range(10):
+        tracer.mark(f"mark{i:02d}")
+    text = tracer.render(limit=3)
+    # Header still reports the full count; the body shows only the tail.
+    assert "10 records" in text
+    assert len(text.splitlines()) == 1 + 3
+    assert "mark09" in text and "mark07" in text
+    assert "mark06" not in text
+
+
+def test_uninstrument_restores_original_handler():
+    sim, net, client, service = make_stack()
+    original = service.handler
+    tracer = Tracer(sim)
+    tracer.instrument_service(service)
+    assert service.handler is not original
+
+    assert tracer.uninstrument_service(service) is True
+    assert service.handler is original
+    # A second unwrap has nothing to peel.
+    assert tracer.uninstrument_service(service) is False
+
+    def user(sim):
+        yield from call(sim, net, client, service, "hi")
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert tracer.spans("svc") == []  # unwrapped: no spans recorded
+
+
+def test_uninstrument_peels_nested_wrappers_one_at_a_time():
+    sim, net, client, service = make_stack()
+    original = service.handler
+    tracer = Tracer(sim)
+    tracer.instrument_service(service)
+    once_wrapped = service.handler
+    tracer.instrument_service(service)
+
+    assert tracer.uninstrument_service(service) is True
+    assert service.handler is once_wrapped
+    assert tracer.uninstrument_service(service) is True
+    assert service.handler is original
+
+
+def test_wrapped_then_unwrapped_service_still_answers():
+    sim, net, client, service = make_stack()
+    tracer = Tracer(sim)
+    tracer.instrument_service(service)
+    tracer.uninstrument_service(service)
+    results = []
+
+    def user(sim):
+        value = yield from call(sim, net, client, service, "hi")
+        results.append(value)
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert results == ["ok"]
