@@ -16,6 +16,7 @@ import pathlib
 import typing as _t
 from time import perf_counter
 
+from repro.core import parallel
 from repro.core.benchjson import BenchRecord, record_from_result, write_bench_file
 
 __all__ = ["JsonSession"]
@@ -47,12 +48,27 @@ class JsonSession:
         ``events_from`` supplies an event count for callables whose
         return value carries no point results (micro-benchmarks that
         return ``sim.events_processed`` directly).
+
+        Sweep-execution metadata (``jobs``/``wall_speedup``/
+        ``cache_hits``) is attributed to the region by snapshotting the
+        :mod:`repro.core.parallel` counters around the call.
         """
+        before = parallel.counters_snapshot()
         start = perf_counter()
         result = fn()
         wall = perf_counter() - start
+        after = parallel.counters_snapshot()
         events = events_from(result) if events_from is not None else None
-        self.record(name, wall, result, config, events=events)
+        sweep = None
+        points = int(after["points"] - before["points"])
+        if points > 0:
+            busy = after["busy_seconds"] - before["busy_seconds"]
+            sweep = {
+                "jobs": parallel.default_jobs(),
+                "wall_speedup": busy / wall if wall > 0 else 0.0,
+                "cache_hits": int(after["cache_hits"] - before["cache_hits"]),
+            }
+        self.record(name, wall, result, config, events=events, sweep=sweep)
         return result
 
     def record(
@@ -62,12 +78,17 @@ class JsonSession:
         result: _t.Any = None,
         config: dict[str, _t.Any] | None = None,
         events: int | None = None,
+        sweep: dict[str, _t.Any] | None = None,
     ) -> BenchRecord:
         """Fold one already-measured observation into the session."""
         rec = record_from_result(self.bench, name, wall_seconds, result, config)
         if events is not None and rec.events == 0:
             rec.events = int(events)
             rec.events_per_sec = events / wall_seconds if wall_seconds > 0 else 0.0
+        if sweep is not None:
+            rec.jobs = int(sweep.get("jobs", 1))
+            rec.wall_speedup = float(sweep.get("wall_speedup", 0.0))
+            rec.cache_hits = int(sweep.get("cache_hits", 0))
         prev = self._records.get(name)
         if prev is None or _better(rec, prev):
             self._records[name] = rec

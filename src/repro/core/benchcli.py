@@ -112,13 +112,17 @@ def _cmd_show(args: argparse.Namespace, out: _t.TextIO) -> int:
     if not run:
         print(f"repro-bench: no records under {args.run}", file=sys.stderr)
         return EXIT_ERROR
-    header = f"{'bench:name':<60} {'wall s':>9} {'events':>10} {'ev/s':>12} {'q/s':>8} {'p95 s':>8}"
+    header = (
+        f"{'bench:name':<60} {'wall s':>9} {'events':>10} {'ev/s':>12} "
+        f"{'q/s':>8} {'p95 s':>8} {'jobs':>5} {'spdup':>6} {'hits':>5}"
+    )
     print(header, file=out)
     print("-" * len(header), file=out)
     for (bench, name), rec in sorted(run.items()):
         print(
             f"{bench + ':' + name:<60} {rec.wall_seconds:>9.3f} {rec.events:>10,d} "
-            f"{rec.events_per_sec:>12,.0f} {rec.throughput:>8.2f} {rec.latency_p95:>8.4f}",
+            f"{rec.events_per_sec:>12,.0f} {rec.throughput:>8.2f} {rec.latency_p95:>8.4f} "
+            f"{rec.jobs:>5d} {rec.wall_speedup:>6.2f} {rec.cache_hits:>5d}",
             file=out,
         )
     return EXIT_OK

@@ -16,7 +16,10 @@ Every ``benchmarks/bench_*`` module writes — alongside its human-readable
           "events_per_sec": 146682.9,
           "throughput": 97.3,
           "latency_p50": 0.021,
-          "latency_p95": 0.055
+          "latency_p95": 0.055,
+          "jobs": 4,
+          "wall_speedup": 3.1,
+          "cache_hits": 0
         },
         ...
       ]
@@ -26,6 +29,10 @@ Every ``benchmarks/bench_*`` module writes — alongside its human-readable
 :class:`~repro.core.runner.PointResult` (aggregated when a benchmark
 times a whole sweep); timing-only benchmarks that produce no point
 results record ``events = 0`` and are exempt from the throughput gate.
+``jobs``/``wall_speedup``/``cache_hits`` (schema 2) describe how the
+sweep executed: worker-process count, summed point time over wall time,
+and points served from the :mod:`repro.core.parallel` point cache
+(``0``/``0.0`` for benchmarks that bypass the sweep executor).
 
 :func:`compare` diffs a results directory against a committed baseline
 directory with a relative tolerance; the ``repro-bench`` CLI
@@ -50,7 +57,11 @@ __all__ = [
     "compare",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+# Schema 1 records lack jobs/wall_speedup/cache_hits; they decode with
+# the field defaults, so committed baselines keep loading.
+_READABLE_SCHEMAS = (1, 2)
 
 
 @dataclass
@@ -66,6 +77,10 @@ class BenchRecord:
     throughput: float = 0.0
     latency_p50: float = 0.0
     latency_p95: float = 0.0
+    # Sweep-execution metadata (schema 2): how the points were produced.
+    jobs: int = 1
+    wall_speedup: float = 0.0  # summed point seconds / wall seconds; 0 = n/a
+    cache_hits: int = 0
 
     @property
     def key(self) -> tuple[str, str]:
@@ -82,6 +97,9 @@ class BenchRecord:
             "throughput": round(self.throughput, 4),
             "latency_p50": round(self.latency_p50, 6),
             "latency_p95": round(self.latency_p95, 6),
+            "jobs": self.jobs,
+            "wall_speedup": round(self.wall_speedup, 4),
+            "cache_hits": self.cache_hits,
         }
 
     @classmethod
@@ -96,6 +114,9 @@ class BenchRecord:
             throughput=float(data.get("throughput", 0.0)),
             latency_p50=float(data.get("latency_p50", 0.0)),
             latency_p95=float(data.get("latency_p95", 0.0)),
+            jobs=int(data.get("jobs", 1)),
+            wall_speedup=float(data.get("wall_speedup", 0.0)),
+            cache_hits=int(data.get("cache_hits", 0)),
         )
 
 
@@ -186,7 +207,7 @@ def write_bench_file(
 def load_bench_file(path: pathlib.Path | str) -> list[BenchRecord]:
     """Records of one JSON file (raises ValueError on schema mismatch)."""
     data = json.loads(pathlib.Path(path).read_text())
-    if data.get("schema") != SCHEMA_VERSION:
+    if data.get("schema") not in _READABLE_SCHEMAS:
         raise ValueError(f"{path}: unsupported schema {data.get('schema')!r}")
     return [BenchRecord.from_dict(r) for r in data.get("records", [])]
 

@@ -1,9 +1,17 @@
-"""Shared scenario-construction helpers for the four experiment sets."""
+"""Shared scenario-construction and sweep-execution helpers.
+
+Scenario builders (clients, GRIS/Agent/servlet banks) are used by the
+four experiment sets; :func:`sweep_points` is the one sweep loop they
+all share — it fans independent points out through
+:mod:`repro.core.parallel` (process pool + point cache) and merges the
+results in submission order, byte-identical to a serial loop.
+"""
 
 from __future__ import annotations
 
 import typing as _t
 
+from repro.core.parallel import PointSpec, run_specs
 from repro.core.runner import ScenarioRun
 from repro.core.testbed import assign_users_to_clients
 from repro.hawkeye.agent import Agent
@@ -16,6 +24,7 @@ from repro.rgma.registry import Registry
 from repro.sim.host import Host
 
 __all__ = [
+    "sweep_points",
     "uc_clients",
     "lucky_clients",
     "build_gris",
@@ -24,6 +33,40 @@ __all__ = [
     "spawn_publisher",
     "spawn_agent_advertiser",
 ]
+
+
+def sweep_points(
+    run_point: _t.Callable,
+    points: _t.Sequence[_t.Sequence],
+    *,
+    point_kwargs: _t.Sequence[dict[str, _t.Any]] | None = None,
+    jobs: int | None = None,
+    **kwargs: _t.Any,
+) -> list[_t.Any]:
+    """Run ``run_point(*args, **kwargs)`` for every args-tuple in ``points``.
+
+    Results come back index-aligned with ``points`` regardless of how
+    they were produced (cache hit, pool worker, inline call), so every
+    ``sweep()`` below is a thin shim over this helper.  ``point_kwargs``
+    optionally layers per-point keyword overrides (the extensions
+    sweeps vary ``params`` per point); ``jobs`` overrides the
+    process-wide default (``REPRO_JOBS`` / ``repro-figures --jobs``).
+
+    Keyword arguments whose value is ``None`` are dropped — every
+    ``run_point`` keyword defaults to ``None``, so this normalizes the
+    cache key without changing the call.
+    """
+    if point_kwargs is not None and len(point_kwargs) != len(points):
+        raise ValueError(
+            f"point_kwargs length {len(point_kwargs)} != points length {len(points)}"
+        )
+    specs = []
+    for i, args in enumerate(points):
+        kw = {k: v for k, v in kwargs.items() if v is not None}
+        if point_kwargs is not None:
+            kw.update(point_kwargs[i])
+        specs.append(PointSpec.from_call(run_point, tuple(args), kw))
+    return run_specs(specs, jobs=jobs)
 
 
 def uc_clients(run: ScenarioRun, n_users: int) -> list[Host]:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.experiments.common import lucky_clients, uc_clients
+from repro.core.experiments.common import lucky_clients, sweep_points, uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
 from repro.core.topology import compile_plan
@@ -139,8 +139,5 @@ def sweep(
 ) -> list[PointResult]:
     """Full series for one figure legend entry."""
     limit = UC_VARIANT_MAX_USERS if system == "rgma-ps-uc" else None
-    return [
-        run_point(system, users, seed, **kwargs)
-        for users in x_values
-        if limit is None or users <= limit
-    ]
+    xs = [users for users in x_values if limit is None or users <= limit]
+    return sweep_points(run_point, [(system, users, seed) for users in xs], **kwargs)

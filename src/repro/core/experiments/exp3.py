@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.experiments.common import uc_clients
+from repro.core.experiments.common import sweep_points, uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
 from repro.core.topology import compile_plan
@@ -96,4 +96,6 @@ def sweep(
     **kwargs: _t.Any,
 ) -> list[PointResult]:
     """Full series for one figure legend entry."""
-    return [run_point(system, collectors, seed, **kwargs) for collectors in x_values]
+    return sweep_points(
+        run_point, [(system, collectors, seed) for collectors in x_values], **kwargs
+    )

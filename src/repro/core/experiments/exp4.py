@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.experiments.common import uc_clients
+from repro.core.experiments.common import sweep_points, uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
 from repro.core.topology import compile_plan
@@ -97,4 +97,4 @@ def sweep(
 ) -> list[PointResult]:
     """Full series for one figure legend entry (crashes become DNF points)."""
     values = tuple(x_values) if x_values is not None else X_VALUES[system]
-    return [run_point(system, servers, seed, **kwargs) for servers in values]
+    return sweep_points(run_point, [(system, servers, seed) for servers in values], **kwargs)

@@ -26,7 +26,7 @@ import dataclasses
 import typing as _t
 
 from repro.core.experiments import exp1
-from repro.core.experiments.common import uc_clients
+from repro.core.experiments.common import sweep_points, uc_clients
 from repro.core.params import default_params
 from repro.core.runner import PointResult, drive, new_run
 from repro.core.topology import compile_plan
@@ -64,18 +64,22 @@ def wan_sweep(
     window: float | None = None,
 ) -> list[tuple[str, PointResult]]:
     """Run one Experiment-1 point under each WAN profile."""
-    results = []
-    for label, latency, mbps in profiles:
+    per_point = []
+    for _label, latency, mbps in profiles:
         params = default_params()
         params = dataclasses.replace(
             params,
             testbed=dataclasses.replace(params.testbed, wan_latency=latency, wan_mbps=mbps),
         )
-        point = exp1.run_point(
-            system, users, seed, params=params, warmup=warmup, window=window
-        )
-        results.append((label, point))
-    return results
+        per_point.append({"params": params})
+    points = sweep_points(
+        exp1.run_point,
+        [(system, users, seed)] * len(per_point),
+        point_kwargs=per_point,
+        warmup=warmup,
+        window=window,
+    )
+    return [(label, point) for (label, _l, _m), point in zip(profiles, points)]
 
 
 def access_pattern_sweep(
@@ -88,17 +92,21 @@ def access_pattern_sweep(
     window: float | None = None,
 ) -> list[tuple[str, PointResult]]:
     """Run one Experiment-1 point under each user access pattern."""
-    results = []
+    per_point = []
     for pattern in patterns:
         params = default_params()
         params = dataclasses.replace(
             params, workload=dataclasses.replace(params.workload, pattern=pattern)
         )
-        point = exp1.run_point(
-            system, users, seed, params=params, warmup=warmup, window=window
-        )
-        results.append((pattern, point))
-    return results
+        per_point.append({"params": params})
+    points = sweep_points(
+        exp1.run_point,
+        [(system, users, seed)] * len(per_point),
+        point_kwargs=per_point,
+        warmup=warmup,
+        window=window,
+    )
+    return list(zip(patterns, points))
 
 
 def aggregate_vs_direct(

@@ -35,7 +35,8 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from repro.core.experiments import exp1, exp2
-from repro.core.experiments.common import uc_clients
+from repro.core.experiments.common import sweep_points, uc_clients
+from repro.core.parallel import register_codec
 from repro.core.params import StudyParams, measurement_window
 from repro.core.runner import PointResult, drive, new_run
 from repro.core.topology import compile_plan
@@ -49,15 +50,20 @@ from repro.sim.rpc import CircuitBreaker, RetryPolicy
 __all__ = [
     "SCHEDULES",
     "SYSTEMS",
+    "X_VALUES",
     "FaultPointResult",
     "build_schedule",
     "default_retry_policy",
     "format_fault_table",
     "run_fault_point",
+    "sweep",
 ]
 
 # Native fault scenarios; every exp1/exp2 system name is also accepted.
 SYSTEMS = ("mds-registration", "hawkeye-advertise")
+
+# Default user counts for fault sweeps (below, at and past saturation).
+X_VALUES = (10, 100, 300)
 
 SCHEDULES = ("outage", "flapping")
 
@@ -110,6 +116,7 @@ def default_retry_policy(
     )
 
 
+@register_codec
 @dataclass(frozen=True)
 class FaultPointResult:
     """A baseline/faulted pair for one (system, users, schedule) point."""
@@ -210,6 +217,21 @@ def run_fault_point(
         faulted=faulted,
         extras=extras,
     )
+
+
+def sweep(
+    system: str,
+    x_values: _t.Sequence[int] = X_VALUES,
+    seed: int = 1,
+    **kwargs: _t.Any,
+) -> list[FaultPointResult]:
+    """Fault points for one system across user counts.
+
+    Each point is a self-contained baseline/faulted pair seeded from
+    its own :class:`~repro.sim.randomness.RngHub`, so the sweep fans
+    out and caches like any figure sweep.
+    """
+    return sweep_points(run_fault_point, [(system, users, seed) for users in x_values], **kwargs)
 
 
 def _run_one(

@@ -21,7 +21,8 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass
 
-from repro.core.experiments.common import uc_clients
+from repro.core.experiments.common import sweep_points, uc_clients
+from repro.core.parallel import register_codec
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
 from repro.core.topology import compile_plan
@@ -47,6 +48,7 @@ FANOUTS = (2, 4, 8)
 USERS = 10
 
 
+@register_codec
 @dataclass(frozen=True)
 class ScalePoint:
     """One tree shape: the compiled plan's shape plus the measured point."""
@@ -108,11 +110,8 @@ def sweep_scale(
     **kwargs: _t.Any,
 ) -> list[ScalePoint]:
     """The full depth x fanout grid for one system."""
-    return [
-        run_scale_point(system, depth, fanout, seed, **kwargs)
-        for depth in depths
-        for fanout in fanouts
-    ]
+    grid = [(system, depth, fanout, seed) for depth in depths for fanout in fanouts]
+    return sweep_points(run_scale_point, grid, **kwargs)
 
 
 def format_scale_table(rows: _t.Sequence[ScalePoint]) -> str:

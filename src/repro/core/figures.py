@@ -10,15 +10,19 @@ prints the table the paper plotted.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import typing as _t
 from dataclasses import dataclass
+from time import perf_counter
 
+from repro.core import parallel
 from repro.core.experiments import exp1, exp2, exp3, exp4
 from repro.core.results import Figure, Series
 from repro.core.runner import PointResult
 
-__all__ = ["FIGURES", "FigureSpec", "reproduce_figure", "main"]
+__all__ = ["FIGURES", "FigureSpec", "quick_x_values", "reproduce_figure", "main"]
 
 # Metric extracted per figure (the paper cycles the same four).
 _METRICS = {
@@ -139,6 +143,18 @@ def reproduce_experiment_set(
     return [reproduce_figure(n, seed, sweep_cache=cache, **kwargs) for n in numbers]
 
 
+def quick_x_values(x_values: _t.Sequence[int]) -> tuple[int, ...]:
+    """--quick downsampling: every len//3-th x value plus always the last.
+
+    The endpoint is where the interesting saturation behaviour lives
+    (600 users, 90 collectors), so it must survive the coarsening.
+    """
+    xs = tuple(x_values[:: max(1, len(x_values) // 3)])
+    if xs[-1] != x_values[-1]:
+        xs += (x_values[-1],)
+    return xs
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """CLI: regenerate paper figures as text tables (and optional CSV)."""
     parser = argparse.ArgumentParser(
@@ -156,14 +172,49 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
     parser.add_argument("--chart", action="store_true", help="also draw ASCII charts")
     parser.add_argument(
-        "--quick", action="store_true", help="coarse sweeps (3 x-values) for a fast look"
+        "--quick", action="store_true", help="coarse sweeps (4 x-values) for a fast look"
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run sweep points on N worker processes (default: $REPRO_JOBS or serial); "
+        "tables are byte-identical to the serial output",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="point-cache directory (default with --cache: results/pointcache); "
+        "repeated runs skip already-computed points",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the point cache at the default location (results/pointcache)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write sweep-execution stats (jobs, cache hits, wall speedup) as JSON",
     )
     args = parser.parse_args(argv)
     wanted = args.figures or sorted(FIGURES)
     unknown = [n for n in wanted if n not in FIGURES]
     if unknown:
         parser.error(f"unknown figure numbers: {unknown} (valid: 5-20)")
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.cache:
+        cache_dir = pathlib.Path("results/pointcache")
+    parallel.configure(jobs=args.jobs, cache_dir=cache_dir)
 
+    before = parallel.counters_snapshot()
+    start = perf_counter()
     # Group by experiment set so sweeps are shared.
     cache: dict = {}
     for number in wanted:
@@ -173,7 +224,7 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             if exp is exp4:
                 kwargs["x_values"] = None  # per-system defaults, already short
             else:
-                kwargs["x_values"] = tuple(exp.X_VALUES[:: max(1, len(exp.X_VALUES) // 3)])
+                kwargs["x_values"] = quick_x_values(exp.X_VALUES)
         figure = reproduce_figure(number, args.seed, sweep_cache=cache, **kwargs)
         if args.csv:
             sys.stdout.write(figure.to_csv())
@@ -182,6 +233,31 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             if args.chart:
                 print(figure.to_ascii_chart())
             print()
+
+    # Execution stats go to stderr/JSON so stdout stays byte-identical
+    # across serial, parallel and cached runs.
+    wall = perf_counter() - start
+    after = parallel.counters_snapshot()
+    stats = {
+        "jobs": parallel.default_jobs(),
+        "points": int(after["points"] - before["points"]),
+        "executed": int(after["executed"] - before["executed"]),
+        "cache_hits": int(after["cache_hits"] - before["cache_hits"]),
+        "busy_seconds": round(after["busy_seconds"] - before["busy_seconds"], 6),
+        "wall_seconds": round(wall, 6),
+        "wall_speedup": round((after["busy_seconds"] - before["busy_seconds"]) / wall, 4)
+        if wall > 0
+        else 0.0,
+    }
+    print(
+        f"[sweep] jobs={stats['jobs']} points={stats['points']} "
+        f"executed={stats['executed']} cache_hits={stats['cache_hits']} "
+        f"wall={stats['wall_seconds']:.1f}s speedup={stats['wall_speedup']:.2f}x",
+        file=sys.stderr,
+    )
+    if args.stats_json is not None:
+        args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_json.write_text(json.dumps(stats, indent=2) + "\n")
     return 0
 
 

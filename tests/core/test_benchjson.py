@@ -88,6 +88,33 @@ def test_load_rejects_unknown_schema(tmp_path):
         load_bench_file(path)
 
 
+def test_load_accepts_schema_1_baselines(tmp_path):
+    """Committed baselines predate jobs/wall_speedup/cache_hits."""
+    path = tmp_path / "old.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "bench": "b",
+                "records": [{"bench": "b", "name": "p", "events_per_sec": 10.0}],
+            }
+        )
+    )
+    (rec,) = load_bench_file(path)
+    assert rec.events_per_sec == 10.0
+    assert rec.jobs == 1 and rec.wall_speedup == 0.0 and rec.cache_hits == 0
+
+
+def test_sweep_fields_round_trip(tmp_path):
+    rec = _record("p")
+    rec.jobs = 4
+    rec.wall_speedup = 3.125
+    rec.cache_hits = 7
+    write_bench_file(tmp_path / "r.json", "b", [rec])
+    (loaded,) = load_bench_file(tmp_path / "r.json")
+    assert (loaded.jobs, loaded.wall_speedup, loaded.cache_hits) == (4, 3.125, 7)
+
+
 def test_load_records_keys_by_bench_and_name(tmp_path):
     write_bench_file(tmp_path / "one.json", "b1", [_record("p", bench="b1")])
     write_bench_file(tmp_path / "two.json", "b2", [_record("p", bench="b2")])

@@ -7,6 +7,7 @@ from repro.core.figures import (
     FIGURES,
     main,
     points_to_series,
+    quick_x_values,
     reproduce_figure,
 )
 from repro.core.results import Figure, Series
@@ -150,6 +151,14 @@ def test_empty_figure_chart():
 def test_cli_rejects_unknown_figure(capsys):
     with pytest.raises(SystemExit):
         main(["4"])
+
+
+def test_quick_x_values_keeps_the_endpoint():
+    # The regression: 9 values // 3 = stride 3 used to drop 600 entirely.
+    assert quick_x_values(exp1.X_VALUES) == (1, 100, 400, 600)
+    assert quick_x_values(exp3.X_VALUES) == exp3.X_VALUES  # short grids untouched
+    for exp in (exp1, exp2, exp3):
+        assert quick_x_values(exp.X_VALUES)[-1] == exp.X_VALUES[-1]
 
 
 def test_cli_quick_csv(capsys):

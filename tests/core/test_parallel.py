@@ -1,0 +1,245 @@
+"""Unit tests for the parallel sweep executor and the point cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import parallel
+from repro.core.metrics import MetricsSummary
+from repro.core.params import default_params
+from repro.core.parallel import (
+    PointCache,
+    PointSpec,
+    Uncanonicalizable,
+    canonical,
+    decode_result,
+    encode_result,
+    run_specs,
+)
+from repro.core.runner import PointResult
+from repro.sim.randomness import RngHub
+from repro.sim.rpc import RetryPolicy
+
+
+def make_point(
+    system: str, x: int, seed: int = 1, *, scale: float = 1.0, params=None
+) -> PointResult:
+    """A synthetic, deterministic PointResult — no simulator involved."""
+    summary = MetricsSummary(
+        throughput=x * scale + 0.1,
+        response_time=0.123456789012345,  # full double precision must survive
+        load1=1.5,
+        cpu_load=52.25,
+        completed=int(x),
+        refused=0,
+        timeouts=0,
+        errors=1,
+        window=60.0,
+        latency_p50=0.0123,
+        latency_p95=0.0456,
+    )
+    return PointResult(system=system, x=float(x), summary=summary, sim_events=100 * x)
+
+
+def stateful_point(system: str, x: int, seed: int = 1, *, retry=None) -> PointResult:
+    """A run_point look-alike taking an uncanonicalizable keyword."""
+    if retry is not None:
+        retry.stats.attempts += 1
+    return make_point(system, x, seed)
+
+
+# -- canonical forms ----------------------------------------------------------
+
+
+def test_canonical_primitives_and_containers():
+    value = {"b": [1, 2.5, "x", None, True], "a": (3,)}
+    assert canonical(value) == {"a": [3], "b": [1, 2.5, "x", None, True]}
+
+
+def test_canonical_frozen_dataclass_is_content_addressed():
+    p1, p2 = default_params(), default_params()
+    assert canonical(p1) == canonical(p2)
+    p3 = dataclasses.replace(p1, gris=dataclasses.replace(p1.gris, cpu_per_query=0.009))
+    assert canonical(p3) != canonical(p1)
+    assert canonical(p1)["__dataclass__"] == "StudyParams"
+
+
+def test_canonical_rejects_stateful_objects():
+    retry = RetryPolicy(max_attempts=2, base_backoff=0.1, rng=RngHub(1).stream("t"))
+    with pytest.raises(Uncanonicalizable):
+        canonical(retry)
+    with pytest.raises(Uncanonicalizable):
+        canonical(lambda: None)
+
+
+# -- codecs -------------------------------------------------------------------
+
+
+def test_codec_roundtrip_is_exact():
+    point = make_point("mds-gris-cache", 37)
+    data = json.loads(json.dumps(encode_result(point)))
+    assert decode_result(data) == point
+
+
+def test_codec_roundtrip_nested_shapes():
+    points = {"a": [make_point("s", 1), make_point("s", 2)], "b": None}
+    data = json.loads(json.dumps(encode_result(points)))
+    assert decode_result(data) == points
+
+
+def test_unknown_codec_tag_degrades_to_miss(tmp_path):
+    cache = PointCache(tmp_path)
+    spec = PointSpec.from_call(make_point, ("s", 1))
+    key = cache.key_for(spec)
+    path = cache._path(key)
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        json.dumps({"schema": 1, "result": {"__type__": "NoSuchClass", "x": 1}})
+    )
+    hit, _value = cache.get(key)
+    assert not hit
+
+
+# -- specs and execution ------------------------------------------------------
+
+
+def test_spec_requires_module_level_function():
+    class Holder:
+        def method(self):  # pragma: no cover - never called
+            pass
+
+    with pytest.raises(ValueError):
+        PointSpec.from_call(Holder.method, ())
+
+
+def test_run_specs_preserves_submission_order():
+    specs = [PointSpec.from_call(make_point, ("s", x)) for x in (5, 1, 3)]
+    serial = run_specs(specs, jobs=1, cache=None)
+    pooled = run_specs(specs, jobs=2, cache=None)
+    assert [p.x for p in serial] == [5.0, 1.0, 3.0]
+    assert serial == pooled
+
+
+def test_run_specs_stats_accounting():
+    specs = [PointSpec.from_call(make_point, ("s", x)) for x in (1, 2)]
+    run_specs(specs, jobs=1, cache=None)
+    stats = parallel.last_stats()
+    assert stats.points == 2
+    assert stats.executed == 2
+    assert stats.cache_hits == 0
+    assert stats.wall_seconds > 0
+
+
+# -- the cache ----------------------------------------------------------------
+
+
+def test_cache_second_run_is_all_hits(tmp_path):
+    cache = PointCache(tmp_path)
+    specs = [PointSpec.from_call(make_point, ("s", x)) for x in (1, 2, 3)]
+    first = run_specs(specs, jobs=1, cache=cache)
+    assert parallel.last_stats().executed == 3
+    second = run_specs(specs, jobs=1, cache=cache)
+    stats = parallel.last_stats()
+    assert stats.executed == 0
+    assert stats.cache_hits == 3
+    assert first == second
+
+
+def test_cache_key_covers_arguments(tmp_path):
+    cache = PointCache(tmp_path)
+    base = PointSpec.from_call(make_point, ("s", 1), {"scale": 1.0})
+    assert cache.key_for(base) != cache.key_for(PointSpec.from_call(make_point, ("s", 2)))
+    assert cache.key_for(base) != cache.key_for(
+        PointSpec.from_call(make_point, ("s", 1), {"scale": 2.0})
+    )
+    assert cache.key_for(base) == cache.key_for(
+        PointSpec.from_call(make_point, ("s", 1), {"scale": 1.0})
+    )
+
+
+def test_params_change_invalidates_cached_point(tmp_path):
+    """A StudyParams edit changes the content-addressed key."""
+    cache = PointCache(tmp_path)
+    p = default_params()
+    changed = dataclasses.replace(p, gris=dataclasses.replace(p.gris, cpu_per_query=0.5))
+    k_default = cache.key_for(PointSpec.from_call(make_point, ("s", 1), {"params": p}))
+    k_changed = cache.key_for(
+        PointSpec.from_call(make_point, ("s", 1), {"params": changed})
+    )
+    assert k_default is not None and k_changed is not None
+    assert k_default != k_changed
+
+
+def test_source_stamp_invalidates(tmp_path, monkeypatch):
+    cache = PointCache(tmp_path)
+    spec = PointSpec.from_call(make_point, ("s", 1))
+    key_now = cache.key_for(spec)
+    monkeypatch.setattr(parallel, "_SOURCE_STAMP", "deadbeef")
+    assert cache.key_for(spec) != key_now
+
+
+def test_uncacheable_spec_runs_inline_and_skips_cache(tmp_path):
+    cache = PointCache(tmp_path)
+    retry = RetryPolicy(max_attempts=2, base_backoff=0.1, rng=RngHub(1).stream("t"))
+    spec = PointSpec.from_call(stateful_point, ("s", 1), {"retry": retry})
+    assert spec.canonical_call() is None
+    results = run_specs([spec], jobs=4, cache=cache)
+    assert results[0] == make_point("s", 1)
+    # Ran inline in this process: the shared retry object mutated here.
+    assert retry.stats.attempts == 1
+    assert list(tmp_path.rglob("*.json")) == []
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = PointCache(tmp_path)
+    spec = PointSpec.from_call(make_point, ("s", 9))
+    run_specs([spec], jobs=1, cache=cache)
+    (entry,) = tmp_path.rglob("*.json")
+    entry.write_text("{not json")
+    results = run_specs([spec], jobs=1, cache=cache)
+    assert parallel.last_stats().executed == 1
+    assert results[0] == make_point("s", 9)
+
+
+# -- configuration ------------------------------------------------------------
+
+
+def test_default_jobs_from_env(monkeypatch):
+    monkeypatch.setattr(parallel, "_DEFAULT_JOBS", None)
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert parallel.default_jobs() == 3
+    monkeypatch.setenv("REPRO_JOBS", "bogus")
+    assert parallel.default_jobs() == 1
+
+
+def test_default_cache_from_env(monkeypatch, tmp_path):
+    monkeypatch.setattr(parallel, "_CACHE_CONFIGURED", False)
+    monkeypatch.setenv("REPRO_POINTCACHE", str(tmp_path / "pc"))
+    store = parallel.default_cache()
+    assert store is not None and store.root == tmp_path / "pc"
+    monkeypatch.delenv("REPRO_POINTCACHE")
+    assert parallel.default_cache() is None
+
+
+def test_configure_overrides_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    monkeypatch.setattr(parallel, "_DEFAULT_JOBS", None)
+    parallel.configure(jobs=2)
+    try:
+        assert parallel.default_jobs() == 2
+    finally:
+        parallel._DEFAULT_JOBS = None
+    monkeypatch.setattr(parallel, "_CACHE_CONFIGURED", False)
+    monkeypatch.setattr(parallel, "_DEFAULT_CACHE", None)
+    parallel.configure(cache_dir=str(tmp_path))
+    try:
+        store = parallel.default_cache()
+        assert store is not None and store.root == tmp_path
+        parallel.configure(cache_dir="")
+        assert parallel.default_cache() is None
+    finally:
+        parallel._CACHE_CONFIGURED = False
+        parallel._DEFAULT_CACHE = None
