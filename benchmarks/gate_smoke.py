@@ -1,0 +1,149 @@
+"""Deterministic smoke test for the ``repro-bench gate`` changepoint gate.
+
+Run directly (``python benchmarks/gate_smoke.py``, CI's ``gate-smoke``
+job) to exercise the gate CLI against synthetic events/sec histories —
+no simulation involved, so it finishes in well under a second:
+
+* a pure-noise history (±2% jitter) must pass,
+* an injected 25% level shift must fail,
+* a shift that *persists* across runs must keep failing,
+* an upward shift must report ``improved`` without failing,
+* short histories must fall back to the single-baseline compare,
+* ``--append`` / ``--max-history`` must accumulate and prune snapshots.
+
+Exits 0 when every scenario behaves, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.benchcli import main as bench_main  # noqa: E402
+from repro.core.benchjson import (  # noqa: E402
+    BenchRecord,
+    append_history,
+    load_history,
+    write_bench_file,
+)
+
+# A quiet benchmark hovering around 100k events/sec (±2%) — the kind of
+# history the noise-adaptive tolerance must wave through.
+NOISE = [100000, 101200, 99100, 100500, 98800, 101900, 99600, 100300]
+
+
+def write_run(directory: pathlib.Path, events_per_sec: float, name: str = "point") -> None:
+    if directory.exists():
+        shutil.rmtree(directory)
+    directory.mkdir(parents=True)
+    write_bench_file(
+        directory / "bench_smoke.json",
+        "bench_smoke",
+        [
+            BenchRecord(
+                bench="bench_smoke",
+                name=name,
+                events=1_000_000,
+                events_per_sec=events_per_sec,
+                wall_seconds=1.0,
+            )
+        ],
+    )
+
+
+def gate(run: pathlib.Path, hist: pathlib.Path, base: pathlib.Path, *extra: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = bench_main(
+        ["gate", "--run", str(run), "--history", str(hist), "--baseline", str(base), *extra],
+        out=out,
+    )
+    return code, out.getvalue()
+
+
+def check(label: str, got: int, want: int, output: str) -> None:
+    if got != want:
+        print(f"FAIL {label}: exit {got}, wanted {want}\n{output}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok   {label} (exit {got})")
+
+
+def main() -> int:
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="gate-smoke-"))
+    run, hist, base = tmp / "run", tmp / "history", tmp / "baselines"
+    try:
+        for value in NOISE:
+            write_run(run, value)
+            append_history(hist, run)
+
+        write_run(run, 100700)
+        code, out = gate(run, hist, base)
+        check("pure-noise history passes", code, 0, out)
+
+        write_run(run, 75000)
+        code, out = gate(run, hist, base)
+        check("injected 25% level shift fails", code, 1, out)
+
+        for value in (74000, 75500, 74800):
+            write_run(run, value)
+            append_history(hist, run)
+        write_run(run, 75200)
+        code, out = gate(run, hist, base)
+        check("persistent level shift keeps failing", code, 1, out)
+
+        shutil.rmtree(hist)
+        for value in NOISE:
+            write_run(run, value)
+            append_history(hist, run)
+        write_run(run, 124000)
+        code, out = gate(run, hist, base)
+        check("upward shift passes", code, 0, out)
+        if "IMPROVED" not in out:
+            print(f"FAIL upward shift not reported as improved\n{out}", file=sys.stderr)
+            return 1
+        print("ok   upward shift reported as improved")
+
+        # Short history: the gate must fall back to the baseline compare.
+        shutil.rmtree(hist)
+        write_run(base, 100000)
+        write_run(run, 60000)
+        code, out = gate(run, hist, base, "--append")
+        check("short history + regressed vs baseline fails", code, 1, out)
+        if "fallback" not in out:
+            print(f"FAIL no fallback marker in output\n{out}", file=sys.stderr)
+            return 1
+        write_run(run, 99000)
+        code, out = gate(run, hist, base, "--append")
+        check("short history + ok vs baseline passes", code, 0, out)
+
+        # Append accumulated; --max-history prunes the oldest snapshots.
+        for value in NOISE:
+            write_run(run, value)
+            gate(run, hist, base, "--append", "--max-history", "6")
+        runs = len(load_history(hist))
+        if runs != 6:
+            print(f"FAIL history pruning: {runs} snapshots, wanted 6", file=sys.stderr)
+            return 1
+        print("ok   --append accumulates, --max-history prunes to 6")
+
+        # --reset-history blesses a new level: the old history is gone.
+        write_run(run, 50000)
+        code, out = gate(run, hist, base, "--reset-history", "--append")
+        runs = len(load_history(hist))
+        if runs != 1:
+            print(f"FAIL reset-history: {runs} snapshots, wanted 1", file=sys.stderr)
+            return 1
+        print("ok   --reset-history clears the record")
+
+        print("\ngate smoke: all scenarios behaved")
+        return 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,10 +37,13 @@ if str(_REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from benchmarks.benchjson import JsonSession  # noqa: E402
-from benchmarks.conftest import results_dir  # noqa: E402
+from benchmarks.conftest import BENCH_WARMUP, BENCH_WINDOW, results_dir  # noqa: E402
 from repro.core.experiments import exp1, exp4  # noqa: E402
 
-FAST = dict(warmup=10.0, window=30.0)
+# Fast windows by default; REPRO_FULL=1 switches to the paper's 600 s
+# window via the shared conftest constants (records then land in
+# results-full/, gated against baselines-full/).
+FAST = dict(warmup=BENCH_WARMUP, window=BENCH_WINDOW)
 
 WORKLOADS = {
     "exp1_600": lambda: exp1.run_point("mds-gris-cache", 600, seed=1, **FAST),

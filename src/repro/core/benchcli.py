@@ -7,7 +7,19 @@ Subcommands
     Diff ``benchmarks/results/*.json`` against ``benchmarks/baselines/``
     and exit non-zero when any baseline record regressed (events/sec
     dropped more than ``--tolerance``, default 25%) or is missing from
-    the run.  This is CI's perf gate.
+    the run.  The single-baseline gate — still used for scheduled
+    full-window runs and as the ``gate`` fallback on short history.
+
+``gate``
+    History-aware perf gate: judge the current run against the
+    accumulated run-over-run history in ``benchmarks/results-history/``
+    with changepoint detection
+    (:func:`repro.core.stats.changepoint_gate`) — a noise-adaptive
+    tolerance per record instead of one fixed percentage.  Records with
+    fewer than ``--min-history`` runs fall back to the ``compare``
+    tolerance against the committed baselines.  ``--append`` snapshots
+    the run into the history afterwards (CI restores/saves the history
+    directory via its cache).
 
 ``baseline``
     Copy the current run's records over the committed baselines — the
@@ -28,7 +40,15 @@ import shutil
 import sys
 import typing as _t
 
-from repro.core.benchjson import compare, load_records
+from repro.core.benchjson import (
+    append_history,
+    compare,
+    history_series,
+    load_history,
+    load_records,
+    prune_history,
+)
+from repro.core.stats import changepoint_gate
 
 __all__ = ["main"]
 
@@ -38,6 +58,7 @@ EXIT_ERROR = 2
 
 _DEFAULT_RUN = pathlib.Path("benchmarks/results")
 _DEFAULT_BASELINE = pathlib.Path("benchmarks/baselines")
+_DEFAULT_HISTORY = pathlib.Path("benchmarks/results-history")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,6 +76,56 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="allowed relative events/sec drop before failing (default 0.25)",
+    )
+
+    gate_p = sub.add_parser(
+        "gate", help="history-aware perf gate (changepoint detection over past runs)"
+    )
+    gate_p.add_argument("--run", type=pathlib.Path, default=_DEFAULT_RUN)
+    gate_p.add_argument("--history", type=pathlib.Path, default=_DEFAULT_HISTORY)
+    gate_p.add_argument("--baseline", type=pathlib.Path, default=_DEFAULT_BASELINE)
+    gate_p.add_argument(
+        "--min-history",
+        type=int,
+        default=5,
+        help="runs (incl. this one) a record needs before the changepoint gate "
+        "judges it; shorter records fall back to compare (default 5)",
+    )
+    gate_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="fallback compare tolerance for short-history records (default 0.25)",
+    )
+    gate_p.add_argument(
+        "--min-drop",
+        type=float,
+        default=0.10,
+        help="minimum relative drop treated as a regression (default 0.10)",
+    )
+    gate_p.add_argument(
+        "--sigmas",
+        type=float,
+        default=4.0,
+        help="noise-adaptive widening: allow this many stable-segment standard "
+        "deviations below the level (default 4.0)",
+    )
+    gate_p.add_argument(
+        "--append",
+        action="store_true",
+        help="snapshot this run into the history after gating",
+    )
+    gate_p.add_argument(
+        "--max-history",
+        type=int,
+        default=50,
+        metavar="N",
+        help="with --append, keep only the newest N snapshots (default 50)",
+    )
+    gate_p.add_argument(
+        "--reset-history",
+        action="store_true",
+        help="clear the accumulated history first (bless an intentional level shift)",
     )
 
     base_p = sub.add_parser("baseline", help="refresh baselines from the current run")
@@ -87,6 +158,86 @@ def _cmd_compare(args: argparse.Namespace, out: _t.TextIO) -> int:
         file=out,
     )
     return EXIT_REGRESSION if bad else EXIT_OK
+
+
+def _cmd_gate(args: argparse.Namespace, out: _t.TextIO) -> int:
+    try:
+        run = load_records(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if not run:
+        print(f"repro-bench: no records under {args.run}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        if args.reset_history and args.history.is_dir():
+            for path in sorted(args.history.glob("run-*.json")):
+                path.unlink()
+            print(f"reset history under {args.history}", file=out)
+        history = load_history(args.history) if args.history.is_dir() else []
+        baseline = load_records(args.baseline) if args.baseline.is_dir() else {}
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    # Changepoint-gate every throughput-tracked record of the run whose
+    # history (plus this run) is long enough; the rest fall back below.
+    verdicts = []
+    short: set[tuple[str, str]] = set()
+    for key in sorted(run):
+        record = run[key]
+        if record.events_per_sec <= 0.0:
+            continue  # wall-clock-only record, exempt (matches compare)
+        series = history_series(history, key) + [record.events_per_sec]
+        verdict = changepoint_gate(
+            series,
+            key,
+            min_history=args.min_history,
+            min_drop=args.min_drop,
+            sigmas=args.sigmas,
+        )
+        if verdict.status == "short":
+            short.add(key)
+        else:
+            verdicts.append(verdict)
+    for verdict in verdicts:
+        print(verdict.describe(), file=out)
+
+    # Fallback: short-history records (and any record missing from the
+    # run entirely) are judged by the old single-baseline tolerance.
+    fallback_base = {
+        key: rec
+        for key, rec in baseline.items()
+        if key in short or (key not in run and rec.events_per_sec > 0.0)
+    }
+    fallback = compare(run, fallback_base, tolerance=args.tolerance) if fallback_base else []
+    for result in fallback:
+        print(f"{result.describe()}  [fallback: history < {args.min_history} runs]", file=out)
+    unjudged = sorted(short - set(fallback_base))
+    for bench, name in unjudged:
+        print(f"new         {bench}:{name} (no history, no baseline)", file=out)
+
+    if args.append:
+        try:
+            path = append_history(args.history, run)
+            pruned = prune_history(args.history, args.max_history)
+        except (OSError, ValueError) as exc:
+            print(f"repro-bench: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        print(f"appended {path.name} ({len(history) + 1} runs"
+              f"{f', pruned {pruned}' if pruned else ''})", file=out)
+
+    regressions = sum(1 for v in verdicts if v.status == "regression")
+    improved = sum(1 for v in verdicts if v.status == "improved")
+    fallback_bad = sum(1 for r in fallback if r.status != "ok")
+    print(
+        f"\n{len(verdicts)} changepoint-gated records over {len(history) + 1} runs "
+        f"({regressions} regressed, {improved} improved), "
+        f"{len(fallback)} on compare fallback ({fallback_bad} failing), "
+        f"{len(unjudged)} new",
+        file=out,
+    )
+    return EXIT_REGRESSION if regressions or fallback_bad else EXIT_OK
 
 
 def _cmd_baseline(args: argparse.Namespace, out: _t.TextIO) -> int:
@@ -132,6 +283,8 @@ def main(argv: _t.Sequence[str] | None = None, out: _t.TextIO = sys.stdout) -> i
     args = _build_parser().parse_args(argv)
     if args.command == "compare":
         return _cmd_compare(args, out)
+    if args.command == "gate":
+        return _cmd_gate(args, out)
     if args.command == "baseline":
         return _cmd_baseline(args, out)
     return _cmd_show(args, out)

@@ -33,10 +33,17 @@ results record ``events = 0`` and are exempt from the throughput gate.
 sweep executed: worker-process count, summed point time over wall time,
 and points served from the :mod:`repro.core.parallel` point cache
 (``0``/``0.0`` for benchmarks that bypass the sweep executor).
+``replications``/``throughput_ci``/``converged`` (schema 3) describe
+how the measurement was estimated: replication count, 95% CI half-width
+on throughput and whether the adaptive stopping rule converged — exact
+single-run benchmarks record ``1``/``0.0``/``true``.
 
 :func:`compare` diffs a results directory against a committed baseline
-directory with a relative tolerance; the ``repro-bench`` CLI
-(:mod:`repro.core.benchcli`) wraps it for CI.  See docs/BENCHMARKS.md.
+directory with a relative tolerance; :func:`append_history` /
+:func:`load_history` maintain the accumulated run-over-run history that
+``repro-bench gate`` feeds to :func:`repro.core.stats.changepoint_gate`.
+The ``repro-bench`` CLI (:mod:`repro.core.benchcli`) wraps both for CI.
+See docs/BENCHMARKS.md.
 """
 
 from __future__ import annotations
@@ -55,13 +62,18 @@ __all__ = [
     "load_bench_file",
     "load_records",
     "compare",
+    "append_history",
+    "load_history",
+    "history_series",
+    "prune_history",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-# Schema 1 records lack jobs/wall_speedup/cache_hits; they decode with
-# the field defaults, so committed baselines keep loading.
-_READABLE_SCHEMAS = (1, 2)
+# Schema 1 records lack jobs/wall_speedup/cache_hits, schema 2 lacks
+# replications/throughput_ci/converged; both decode with the field
+# defaults, so committed baselines keep loading.
+_READABLE_SCHEMAS = (1, 2, 3)
 
 
 @dataclass
@@ -81,6 +93,10 @@ class BenchRecord:
     jobs: int = 1
     wall_speedup: float = 0.0  # summed point seconds / wall seconds; 0 = n/a
     cache_hits: int = 0
+    # Estimation metadata (schema 3): how the measurement was estimated.
+    replications: int = 1
+    throughput_ci: float = 0.0  # mean 95% CI half-width across sweep points
+    converged: bool = True  # adaptive stopping rule met its precision target
 
     @property
     def key(self) -> tuple[str, str]:
@@ -100,6 +116,9 @@ class BenchRecord:
             "jobs": self.jobs,
             "wall_speedup": round(self.wall_speedup, 4),
             "cache_hits": self.cache_hits,
+            "replications": self.replications,
+            "throughput_ci": round(self.throughput_ci, 4),
+            "converged": self.converged,
         }
 
     @classmethod
@@ -117,6 +136,9 @@ class BenchRecord:
             jobs=int(data.get("jobs", 1)),
             wall_speedup=float(data.get("wall_speedup", 0.0)),
             cache_hits=int(data.get("cache_hits", 0)),
+            replications=int(data.get("replications", 1)),
+            throughput_ci=float(data.get("throughput_ci", 0.0)),
+            converged=bool(data.get("converged", True)),
         )
 
 
@@ -173,6 +195,12 @@ def record_from_result(
     )
     latency_p50 = max((p.summary.latency_p50 for p in points), default=0.0)
     latency_p95 = max((p.summary.latency_p95 for p in points), default=0.0)
+    # Estimation metadata (schema 3): adaptive-mode points carry a
+    # ReplicationInfo on ``.ci``; exact points record the defaults.
+    infos = [p.ci for p in points if getattr(p, "ci", None) is not None]
+    replications = max((i.replications for i in infos), default=1)
+    throughput_ci = sum(i.throughput_ci for i in infos) / len(infos) if infos else 0.0
+    converged = all(i.converged for i in infos)
     return BenchRecord(
         bench=bench,
         name=name,
@@ -183,6 +211,9 @@ def record_from_result(
         throughput=throughput,
         latency_p50=latency_p50,
         latency_p95=latency_p95,
+        replications=replications,
+        throughput_ci=throughput_ci,
+        converged=converged,
     )
 
 
@@ -220,6 +251,69 @@ def load_records(directory: pathlib.Path | str) -> dict[tuple[str, str], BenchRe
         for record in load_bench_file(path):
             records[record.key] = record
     return records
+
+
+# -- history ------------------------------------------------------------------
+
+_HISTORY_PATTERN = "run-*.json"
+
+
+def _history_paths(history_dir: pathlib.Path | str) -> list[pathlib.Path]:
+    """Snapshot files oldest-first (zero-padded names sort lexically)."""
+    return sorted(pathlib.Path(history_dir).glob(_HISTORY_PATTERN))
+
+
+def append_history(
+    history_dir: pathlib.Path | str,
+    run: pathlib.Path | str | dict[tuple[str, str], "BenchRecord"],
+) -> pathlib.Path:
+    """Snapshot one run's records into the accumulated history.
+
+    ``run`` is a results directory (every ``*.json`` in it is folded
+    into the snapshot) or an already-loaded ``{(bench, name): record}``
+    mapping.  Snapshots are written as ``run-NNNNN.json`` with a
+    monotonically increasing index, so a lexical sort of the directory
+    is the chronological run order — no timestamps needed, which keeps
+    the CI cache deterministic.
+    """
+    records = run if isinstance(run, dict) else load_records(run)
+    if not records:
+        raise ValueError(f"append_history: no records in {run!r}")
+    paths = _history_paths(history_dir)
+    last = int(paths[-1].stem.split("-", 1)[1]) if paths else 0
+    path = pathlib.Path(history_dir) / f"run-{last + 1:05d}.json"
+    return write_bench_file(path, "history", list(records.values()))
+
+
+def load_history(
+    history_dir: pathlib.Path | str,
+) -> list[dict[tuple[str, str], "BenchRecord"]]:
+    """All history snapshots, oldest first, each keyed by (bench, name)."""
+    out: list[dict[tuple[str, str], BenchRecord]] = []
+    for path in _history_paths(history_dir):
+        out.append({r.key: r for r in load_bench_file(path)})
+    return out
+
+
+def history_series(
+    history: _t.Sequence[dict[tuple[str, str], "BenchRecord"]],
+    key: tuple[str, str],
+) -> list[float]:
+    """Chronological events/sec of one record key (absent runs skipped)."""
+    return [
+        run[key].events_per_sec for run in history if key in run
+    ]
+
+
+def prune_history(history_dir: pathlib.Path | str, keep: int) -> int:
+    """Drop the oldest snapshots beyond ``keep``; returns how many."""
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    paths = _history_paths(history_dir)
+    stale = paths[:-keep] if len(paths) > keep else []
+    for path in stale:
+        path.unlink()
+    return len(stale)
 
 
 # -- comparison ---------------------------------------------------------------

@@ -5,14 +5,29 @@ four experiment sets; :func:`sweep_points` is the one sweep loop they
 all share — it fans independent points out through
 :mod:`repro.core.parallel` (process pool + point cache) and merges the
 results in submission order, byte-identical to a serial loop.
+
+Passing ``adaptive=`` to :func:`sweep_points` (or to any experiment's
+``sweep()``) switches the whole sweep to the adaptive measurement mode:
+every point is replicated across seeds until its confidence interval
+converges (:func:`repro.core.stats.adaptive_replications`), each
+replication detecting its own steady-state window, and the reduced
+:class:`~repro.core.runner.PointResult` reports replication means with
+CI half-widths on :attr:`~repro.core.runner.PointResult.ci`.
 """
 
 from __future__ import annotations
 
 import typing as _t
+from dataclasses import replace
 
 from repro.core.parallel import PointSpec, run_specs
-from repro.core.runner import ScenarioRun
+from repro.core.runner import PointResult, ScenarioRun
+from repro.core.stats import (
+    AdaptiveConfig,
+    AdaptiveEstimate,
+    adaptive_replications,
+    summarize_replications,
+)
 from repro.core.testbed import assign_users_to_clients
 from repro.hawkeye.agent import Agent
 from repro.hawkeye.modules import replicated_modules
@@ -25,6 +40,8 @@ from repro.sim.host import Host
 
 __all__ = [
     "sweep_points",
+    "adaptive_sweep_points",
+    "adaptive_point",
     "uc_clients",
     "lucky_clients",
     "build_gris",
@@ -41,6 +58,7 @@ def sweep_points(
     *,
     point_kwargs: _t.Sequence[dict[str, _t.Any]] | None = None,
     jobs: int | None = None,
+    adaptive: AdaptiveConfig | bool | None = None,
     **kwargs: _t.Any,
 ) -> list[_t.Any]:
     """Run ``run_point(*args, **kwargs)`` for every args-tuple in ``points``.
@@ -52,10 +70,19 @@ def sweep_points(
     sweeps vary ``params`` per point); ``jobs`` overrides the
     process-wide default (``REPRO_JOBS`` / ``repro-figures --jobs``).
 
+    A truthy ``adaptive`` routes the sweep through
+    :func:`adaptive_sweep_points` instead (replicated, CI-reported
+    points); ``point_kwargs`` is not supported there.
+
     Keyword arguments whose value is ``None`` are dropped — every
     ``run_point`` keyword defaults to ``None``, so this normalizes the
     cache key without changing the call.
     """
+    if adaptive:
+        if point_kwargs is not None:
+            raise ValueError("point_kwargs is not supported with adaptive sweeps")
+        config = adaptive if isinstance(adaptive, AdaptiveConfig) else None
+        return adaptive_sweep_points(run_point, points, config=config, jobs=jobs, **kwargs)
     if point_kwargs is not None and len(point_kwargs) != len(points):
         raise ValueError(
             f"point_kwargs length {len(point_kwargs)} != points length {len(points)}"
@@ -67,6 +94,71 @@ def sweep_points(
             kw.update(point_kwargs[i])
         specs.append(PointSpec.from_call(run_point, tuple(args), kw))
     return run_specs(specs, jobs=jobs)
+
+
+def _reduce_estimate(estimate: AdaptiveEstimate, config: AdaptiveConfig) -> PointResult:
+    """Fold one point's replications into a single reported PointResult."""
+    first = estimate.results[0]
+    mean_summary, info, crashed = summarize_replications(
+        estimate.results, config.confidence
+    )
+    info = replace(info, converged=estimate.converged)
+    return replace(
+        first,
+        summary=mean_summary,
+        crashed=crashed,
+        sim_events=sum(r.sim_events for r in estimate.results),
+        ci=info,
+    )
+
+
+def adaptive_sweep_points(
+    run_point: _t.Callable,
+    points: _t.Sequence[_t.Sequence],
+    *,
+    config: AdaptiveConfig | None = None,
+    jobs: int | None = None,
+    **kwargs: _t.Any,
+) -> list[PointResult]:
+    """Adaptive-mode sweep: replicate every point until its CI converges.
+
+    Each args-tuple in ``points`` must end with the point's base seed
+    (the :func:`sweep_points` convention).  Replication ``k`` re-runs
+    the point with seed ``base + k * seed_stride`` and a detected
+    steady-state window; replications fan out through
+    :mod:`repro.core.parallel` batch by batch, so the stopping decision
+    — and therefore the reported mean ± CI — is independent of worker
+    count and scheduling.
+    """
+    cfg = config or AdaptiveConfig()
+    clean = {k: v for k, v in kwargs.items() if v is not None}
+    clean["adaptive"] = cfg
+    out: list[PointResult] = []
+    for args in points:
+        *head, base_seed = args
+        estimate = adaptive_replications(
+            run_point,
+            tuple(head),
+            clean,
+            base_seed=int(base_seed),
+            config=cfg,
+            jobs=jobs,
+        )
+        out.append(_reduce_estimate(estimate, cfg))
+    return out
+
+
+def adaptive_point(
+    run_point: _t.Callable,
+    *args: _t.Any,
+    config: AdaptiveConfig | None = None,
+    jobs: int | None = None,
+    **kwargs: _t.Any,
+) -> PointResult:
+    """One adaptively-estimated point (``args`` ends with the base seed)."""
+    return adaptive_sweep_points(
+        run_point, [tuple(args)], config=config, jobs=jobs, **kwargs
+    )[0]
 
 
 def uc_clients(run: ScenarioRun, n_users: int) -> list[Host]:

@@ -26,6 +26,7 @@ import typing as _t
 from repro.core.experiments.common import lucky_clients, sweep_points, uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
+from repro.core.stats import AdaptiveConfig
 from repro.core.topology import compile_plan
 from repro.core.topology.catalog import exp1_plan
 from repro.sim.faults import FaultPlan
@@ -56,6 +57,7 @@ def run_point(
     params: StudyParams | None = None,
     warmup: float | None = None,
     window: float | None = None,
+    adaptive: AdaptiveConfig | bool | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
 ) -> PointResult:
@@ -125,6 +127,7 @@ def run_point(
         services_by_user=[dep.route(c) for c in clients] if dep.routed else None,
         warmup=warmup,
         window=window,
+        adaptive=adaptive,
         retry=retry,
         faults=faults,
         fault_services=dep.fault_services if faults is not None else None,

@@ -30,6 +30,7 @@ import typing as _t
 from repro.core.experiments.common import sweep_points, uc_clients
 from repro.core.params import StudyParams
 from repro.core.runner import PointResult, drive, new_run
+from repro.core.stats import AdaptiveConfig
 from repro.core.topology import compile_plan
 from repro.core.topology.catalog import exp4_plan
 
@@ -56,6 +57,7 @@ def run_point(
     params: StudyParams | None = None,
     warmup: float | None = None,
     window: float | None = None,
+    adaptive: AdaptiveConfig | bool | None = None,
 ) -> PointResult:
     """Measure one (system, servers) coordinate of Figures 17-20."""
     if system not in SYSTEMS:
@@ -86,6 +88,7 @@ def run_point(
         request_size=request_size,
         warmup=warmup,
         window=window,
+        adaptive=adaptive,
     )
 
 

@@ -85,15 +85,30 @@ for _n, _metric in zip((17, 18, 19, 20), ("throughput", "response_time", "load1"
     )
 
 
+# CI half-widths exist for the two client-side metrics the adaptive
+# replication controller tracks; host-side load metrics report means only.
+_CI_EXTRACT = {
+    "throughput": lambda r: r.ci.throughput_ci,
+    "response_time": lambda r: r.ci.response_time_ci,
+}
+
+
 def points_to_series(label: str, points: _t.Sequence[PointResult], metric: str) -> Series:
-    """Convert sweep results into one figure series (crashes become DNF)."""
+    """Convert sweep results into one figure series (crashes become DNF).
+
+    Adaptive-mode points (``point.ci`` set) annotate the series with
+    their CI half-widths; exact-mode series carry none, keeping the
+    committed tables byte-identical.
+    """
     extract = _METRICS[metric][1]
+    ci_extract = _CI_EXTRACT.get(metric)
     series = Series(label=label)
     for point in points:
         if point.crashed:
             series.mark_dnf(point.x)
         else:
-            series.add(point.x, extract(point))
+            hw = ci_extract(point) if ci_extract is not None and point.ci else None
+            series.add(point.x, extract(point), ci=hw)
     return series
 
 
@@ -175,6 +190,12 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--quick", action="store_true", help="coarse sweeps (4 x-values) for a fast look"
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive measurement: detect steady state per run, replicate "
+        "points until CIs converge, annotate tables with ± half-widths",
+    )
+    parser.add_argument(
         "-j",
         "--jobs",
         type=int,
@@ -219,6 +240,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     cache: dict = {}
     for number in wanted:
         kwargs: dict = {}
+        if args.adaptive:
+            from repro.core.stats import AdaptiveConfig
+
+            kwargs["adaptive"] = AdaptiveConfig()
         if args.quick:
             exp = FIGURES[number].experiment
             if exp is exp4:

@@ -29,6 +29,7 @@ __all__ = [
     "RequestLog",
     "MetricsSummary",
     "StreamingLatency",
+    "bucket_rates",
     "summarize",
     "ResilienceSummary",
     "resilience_summary",
@@ -204,10 +205,15 @@ class ResilienceSummary:
         return self.attempts / self.logical_calls if self.logical_calls else 0.0
 
 
-def _bucket_rates(
+def bucket_rates(
     records: _t.Sequence[RequestRecord], start: float, end: float, bucket: float
 ) -> list[float]:
-    """Successful completions per second, bucketed over [start, end)."""
+    """Successful completions per second, bucketed over [start, end).
+
+    This is the metric stream the adaptive measurement mode feeds to
+    :func:`repro.core.stats.detect_steady_state` (and what
+    :func:`resilience_summary` computes recovery over).
+    """
     n = max(1, int((end - start) / bucket + 0.5))
     counts = [0] * n
     for r in records:
@@ -266,7 +272,7 @@ def resilience_summary(
         recovery = 0.0
     else:
         recovery = None
-        rates = _bucket_rates(successes, window_start, window_end, bucket)
+        rates = bucket_rates(successes, window_start, window_end, bucket)
         threshold = recovery_fraction * pre
         from_bucket = max(0, int((last_up - window_start) / bucket))
         for i in range(from_bucket, len(rates)):

@@ -42,11 +42,12 @@ import os
 import pathlib
 import typing as _t
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
 
 from repro.core.metrics import MetricsSummary, ResilienceSummary
 from repro.core.runner import PointResult
+from repro.core.stats import ReplicationInfo, SteadyStateInfo
 
 __all__ = [
     "PointSpec",
@@ -152,7 +153,7 @@ def register_codec(cls: type) -> type:
     return cls
 
 
-for _cls in (PointResult, MetricsSummary, ResilienceSummary):
+for _cls in (PointResult, MetricsSummary, ResilienceSummary, ReplicationInfo, SteadyStateInfo):
     register_codec(_cls)
 
 

@@ -18,27 +18,56 @@ import typing as _t
 from dataclasses import dataclass
 
 from repro.core.experiments import exp1, exp2, exp3, exp4
+from repro.core.experiments.common import adaptive_point
 from repro.core.runner import PointResult
+from repro.core.stats import AdaptiveConfig
 
 __all__ = ["Claim", "CLAIMS", "ClaimOutcome", "run_report", "main"]
 
 
 class _Context:
-    """Lazily-run, shared experiment points."""
+    """Lazily-run, shared experiment points.
 
-    def __init__(self, seed: int, warmup: float | None, window: float | None) -> None:
+    With ``adaptive`` set, every point is estimated by replication
+    until its CI converges (:mod:`repro.core.stats`) instead of a
+    single fixed-window run; claims then check replication means.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        warmup: float | None,
+        window: float | None,
+        adaptive: AdaptiveConfig | None = None,
+    ) -> None:
         self.seed = seed
         self.warmup = warmup
         self.window = window
+        self.adaptive = adaptive
         self._points: dict[tuple, PointResult] = {}
 
     def point(self, exp: _t.Any, system: str, x: int) -> PointResult:
         key = (exp.__name__, system, x)
         if key not in self._points:
-            self._points[key] = exp.run_point(
-                system, x, self.seed, warmup=self.warmup, window=self.window
-            )
+            if self.adaptive is not None:
+                self._points[key] = adaptive_point(
+                    exp.run_point,
+                    system,
+                    x,
+                    self.seed,
+                    config=self.adaptive,
+                    warmup=self.warmup,
+                    window=self.window,
+                )
+            else:
+                self._points[key] = exp.run_point(
+                    system, x, self.seed, warmup=self.warmup, window=self.window
+                )
         return self._points[key]
+
+    def measured_points(self) -> dict[tuple, PointResult]:
+        """Every point the claims touched (for the adaptive appendix)."""
+        return dict(self._points)
 
 
 CheckFn = _t.Callable[[_Context], tuple[bool, str]]
@@ -224,9 +253,18 @@ def run_report(
     seed: int = 1,
     warmup: float | None = None,
     window: float | None = None,
+    adaptive: AdaptiveConfig | None = None,
+    context_out: list | None = None,
 ) -> list[ClaimOutcome]:
-    """Evaluate every claim; returns the outcomes in registration order."""
-    ctx = _Context(seed, warmup, window)
+    """Evaluate every claim; returns the outcomes in registration order.
+
+    ``adaptive`` switches point estimation to replicated steady-state
+    measurements; ``context_out``, when a list, receives the shared
+    :class:`_Context` so callers can render the measured points.
+    """
+    ctx = _Context(seed, warmup, window, adaptive)
+    if context_out is not None:
+        context_out.append(ctx)
     outcomes = []
     for claim in CLAIMS:
         try:
@@ -253,14 +291,47 @@ def render_report(outcomes: _t.Sequence[ClaimOutcome]) -> str:
     return "\n".join(lines)
 
 
+def render_adaptive_appendix(points: dict[tuple, PointResult]) -> str:
+    """Mean ± CI table of every adaptively-measured point."""
+    lines = ["", "Adaptive measurements (mean ± 95% CI half-width over replications)"]
+    lines.append("-" * len(lines[-1]))
+    for (exp_name, system, x), p in sorted(points.items()):
+        ci = p.ci
+        if ci is None:
+            continue
+        mark = "" if ci.converged else "  [CI not converged at replication cap]"
+        lines.append(
+            f"  {exp_name.rsplit('.', 1)[-1]}:{system}@{x}: "
+            f"X={p.throughput:.2f}±{ci.throughput_ci:.2f} q/s, "
+            f"R={p.response_time:.2f}±{ci.response_time_ci:.2f} s "
+            f"(n={ci.replications}){mark}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-report", description=__doc__)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--fast", action="store_true", help="coarse 20 s windows")
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="replicated steady-state measurement: detect each run's warm-up "
+        "from its own metric stream and replicate until CIs converge",
+    )
     args = parser.parse_args(argv)
     warmup, window = (5.0, 20.0) if args.fast else (None, None)
-    outcomes = run_report(seed=args.seed, warmup=warmup, window=window)
+    contexts: list = []
+    outcomes = run_report(
+        seed=args.seed,
+        warmup=warmup,
+        window=window,
+        adaptive=AdaptiveConfig() if args.adaptive else None,
+        context_out=contexts,
+    )
     print(render_report(outcomes))
+    if args.adaptive and contexts:
+        print(render_adaptive_appendix(contexts[0].measured_points()))
     return 0 if all(o.passed for o in outcomes) else 1
 
 

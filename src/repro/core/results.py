@@ -20,9 +20,14 @@ class Series:
     label: str
     points: list[tuple[float, float]] = field(default_factory=list)
     dnf: list[float] = field(default_factory=list)  # x values that crashed
+    # Optional x -> CI half-width (populated by adaptive-mode sweeps;
+    # empty for exact-mode figures, whose tables stay byte-identical).
+    ci: dict[float, float] = field(default_factory=dict)
 
-    def add(self, x: float, y: float) -> None:
+    def add(self, x: float, y: float, ci: float | None = None) -> None:
         self.points.append((x, y))
+        if ci is not None:
+            self.ci[x] = ci
 
     def mark_dnf(self, x: float) -> None:
         self.dnf.append(x)
@@ -90,6 +95,10 @@ class Figure:
                     )
             lines.append("".join(row))
         lines.append(f"(y axis: {self.ylabel})")
+        for s in self.series:
+            if s.ci:
+                spread = "  ".join(f"{x:g}:±{hw:.3f}" for x, hw in sorted(s.ci.items()))
+                lines.append(f"(95% CI half-width, {s.label}: {spread})")
         return "\n".join(lines)
 
     def to_markdown(self) -> str:

@@ -5,6 +5,17 @@ service under study and its workload.  :func:`drive` runs the
 measurement schedule the paper used — warm-up, then a measurement
 window whose completions and Ganglia samples are averaged — and returns
 a :class:`PointResult` for one (system, x) coordinate of a figure.
+
+Two measurement modes:
+
+* **exact** (default) — the paper's fixed warm-up + window, byte-for-
+  byte identical to every committed figure table;
+* **adaptive** (``adaptive=`` truthy) — the same simulated horizon, but
+  the measurement window is *detected* from the run's own completion
+  stream via changepoint analysis (:mod:`repro.core.stats`): the
+  longest stable regime becomes the window, cutting warm-up ramp and
+  edge effects without a hard-coded warm-up guess.  The detected
+  boundaries travel on :attr:`PointResult.steady_state`.
 """
 
 from __future__ import annotations
@@ -16,8 +27,15 @@ from repro.core.metrics import (
     MetricsSummary,
     RequestLog,
     ResilienceSummary,
+    bucket_rates,
     resilience_summary,
     summarize,
+)
+from repro.core.stats import (
+    AdaptiveConfig,
+    ReplicationInfo,
+    SteadyStateInfo,
+    detect_steady_state,
 )
 from repro.core.params import StudyParams, WorkloadParams, default_params, measurement_window
 from repro.core.testbed import Testbed, build_testbed
@@ -60,6 +78,11 @@ class PointResult:
     sim_events: int = 0
     # Populated only for runs driven with a RetryPolicy or FaultPlan.
     resilience: ResilienceSummary | None = None
+    # Populated only by the adaptive measurement mode: the detected
+    # steady-state window of this run, and — once replications have
+    # been reduced (experiments/common.py) — the CI across them.
+    steady_state: SteadyStateInfo | None = None
+    ci: ReplicationInfo | None = None
 
     # Figure-series accessors (Figures 5-20 plot these four metrics).
     @property
@@ -109,6 +132,7 @@ def drive(
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     fault_services: _t.Sequence[Service] | None = None,
+    adaptive: AdaptiveConfig | bool | None = None,
 ) -> PointResult:
     """Run the workload and reduce the window to one figure point.
 
@@ -116,6 +140,11 @@ def drive(
     ``faults`` installs a :class:`FaultPlan` on ``fault_services``
     (defaulting to the anchor ``service``) before the run.  When either
     is present the result carries a :class:`ResilienceSummary`.
+
+    A truthy ``adaptive`` (``True`` or an
+    :class:`~repro.core.stats.AdaptiveConfig`) switches this run to the
+    detected steady-state window; the simulated horizon is unchanged,
+    so adaptive and exact runs of the same point cost the same.
     """
     default_warmup, default_window = measurement_window()
     warmup = default_warmup if warmup is None else warmup
@@ -136,8 +165,26 @@ def drive(
         services_by_user=services_by_user,
         retry=retry,
     )
-    run.sim.run(until=warmup + window)
-    summary = summarize(run.log, run.testbed.monitor, server_host, warmup, warmup + window)
+    horizon = warmup + window
+    run.sim.run(until=horizon)
+
+    start, end = warmup, horizon
+    steady_info = None
+    if adaptive:
+        cfg = adaptive if isinstance(adaptive, AdaptiveConfig) else AdaptiveConfig()
+        rates = bucket_rates(run.log.records, 0.0, horizon, cfg.bucket)
+        ss = detect_steady_state(rates, dt=cfg.bucket)
+        if ss.stable:
+            start, end = ss.start, ss.end
+        steady_info = SteadyStateInfo(
+            warmup=start,
+            window_start=start,
+            window_end=end,
+            stable=ss.stable,
+            changepoints=len(ss.changepoints),
+        )
+
+    summary = summarize(run.log, run.testbed.monitor, server_host, start, end)
     crashed = service.crashed or any(s.crashed for s in run.services.values())
     reason = service.crash_reason or next(
         (s.crash_reason for s in run.services.values() if s.crash_reason), None
@@ -146,9 +193,9 @@ def drive(
     if retry is not None or faults is not None:
         resilience = resilience_summary(
             run.log,
-            window_start=warmup,
-            window_end=warmup + window,
-            outages=faults.outages_within(warmup, warmup + window) if faults else (),
+            window_start=start,
+            window_end=end,
+            outages=faults.outages_within(start, end) if faults else (),
             retry_stats=retry.stats if retry is not None else None,
         )
     return PointResult(
@@ -159,4 +206,5 @@ def drive(
         crash_reason=reason,
         sim_events=run.sim.events_processed,
         resilience=resilience,
+        steady_state=steady_info,
     )

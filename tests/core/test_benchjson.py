@@ -9,9 +9,13 @@ import pytest
 from repro.core import benchcli
 from repro.core.benchjson import (
     BenchRecord,
+    append_history,
     compare,
+    history_series,
     load_bench_file,
+    load_history,
     load_records,
+    prune_history,
     record_from_result,
     write_bench_file,
 )
@@ -242,3 +246,175 @@ def test_cli_show_lists_records(tmp_path):
     code, out = _run_cli("show", "--run", str(run_dir))
     assert code == benchcli.EXIT_OK
     assert "b:my_point" in out
+
+
+# -- schema 3: estimation metadata --------------------------------------------
+
+
+def test_schema3_fields_round_trip(tmp_path):
+    rec = _record()
+    rec.replications = 5
+    rec.throughput_ci = 0.42
+    rec.converged = False
+    write_bench_file(tmp_path / "b.json", "b", [rec])
+    data = json.loads((tmp_path / "b.json").read_text())
+    assert data["schema"] == 3
+    loaded = load_bench_file(tmp_path / "b.json")[0]
+    assert (loaded.replications, loaded.throughput_ci, loaded.converged) == (5, 0.42, False)
+
+
+def test_load_accepts_schema_2_baselines(tmp_path):
+    payload = {
+        "schema": 2,
+        "bench": "b",
+        "records": [{"bench": "b", "name": "p", "events_per_sec": 10.0, "jobs": 4}],
+    }
+    (tmp_path / "b.json").write_text(json.dumps(payload))
+    rec = load_bench_file(tmp_path / "b.json")[0]
+    assert rec.jobs == 4
+    assert (rec.replications, rec.throughput_ci, rec.converged) == (1, 0.0, True)
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeCI:
+    replications: int = 4
+    converged: bool = True
+    confidence: float = 0.95
+    throughput_ci: float = 0.8
+    response_time_ci: float = 0.01
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeAdaptivePoint:
+    sim_events: int = 1000
+    summary: FakeSummary = dataclasses.field(default_factory=FakeSummary)
+    ci: FakeCI = dataclasses.field(default_factory=FakeCI)
+
+
+def test_record_extracts_estimation_metadata_from_adaptive_points():
+    rec = record_from_result("b", "p", 1.0, [FakeAdaptivePoint(), FakeAdaptivePoint()])
+    assert rec.replications == 4
+    assert rec.throughput_ci == pytest.approx(0.8)
+    assert rec.converged is True
+    rec = record_from_result(
+        "b", "p", 1.0, [FakeAdaptivePoint(ci=FakeCI(converged=False, replications=10))]
+    )
+    assert rec.converged is False
+    assert rec.replications == 10
+
+
+def test_record_exact_points_report_defaults():
+    rec = record_from_result("b", "p", 1.0, FakePoint())
+    assert (rec.replications, rec.throughput_ci, rec.converged) == (1, 0.0, True)
+
+
+# -- run-over-run history -----------------------------------------------------
+
+
+def test_history_append_load_order_and_series(tmp_path):
+    hist = tmp_path / "history"
+    for i, rate in enumerate((100.0, 110.0, 120.0)):
+        path = append_history(hist, {("b", "p"): _record(events_per_sec=rate)})
+        assert path.name == f"run-{i + 1:05d}.json"
+    history = load_history(hist)
+    assert len(history) == 3
+    assert history_series(history, ("b", "p")) == [100.0, 110.0, 120.0]
+    assert history_series(history, ("b", "absent")) == []
+
+
+def test_history_append_from_results_directory(tmp_path):
+    run_dir = tmp_path / "results"
+    write_bench_file(run_dir / "b.json", "b", [_record()])
+    hist = tmp_path / "history"
+    append_history(hist, run_dir)
+    assert len(load_history(hist)) == 1
+    with pytest.raises(ValueError):
+        append_history(hist, {})
+
+
+def test_history_prune_keeps_newest(tmp_path):
+    hist = tmp_path / "history"
+    for rate in (1.0, 2.0, 3.0, 4.0, 5.0):
+        append_history(hist, {("b", "p"): _record(events_per_sec=rate)})
+    assert prune_history(hist, 2) == 3
+    assert history_series(load_history(hist), ("b", "p")) == [4.0, 5.0]
+    assert prune_history(hist, 2) == 0
+    with pytest.raises(ValueError):
+        prune_history(hist, 0)
+
+
+# -- repro-bench gate ---------------------------------------------------------
+
+NOISE = (100000, 101200, 99100, 100500, 98800, 101900, 99600, 100300)
+
+
+def _gate_dirs(tmp_path, history_rates=NOISE, current=100700.0):
+    run_dir = tmp_path / "results"
+    hist = tmp_path / "history"
+    base = tmp_path / "baselines"
+    for rate in history_rates:
+        append_history(hist, {("b", "p"): _record(events_per_sec=rate)})
+    write_bench_file(run_dir / "b.json", "b", [_record(events_per_sec=current)])
+    return run_dir, hist, base
+
+
+def test_cli_gate_passes_noise_history(tmp_path):
+    run_dir, hist, base = _gate_dirs(tmp_path)
+    code, out = _run_cli(
+        "gate", "--run", str(run_dir), "--history", str(hist), "--baseline", str(base)
+    )
+    assert code == benchcli.EXIT_OK
+    assert "ok" in out
+
+
+def test_cli_gate_fails_on_level_shift(tmp_path):
+    run_dir, hist, base = _gate_dirs(tmp_path, current=75000.0)
+    code, out = _run_cli(
+        "gate", "--run", str(run_dir), "--history", str(hist), "--baseline", str(base)
+    )
+    assert code == benchcli.EXIT_REGRESSION
+    assert "REGRESSION" in out
+
+
+def test_cli_gate_short_history_falls_back_to_compare(tmp_path):
+    run_dir, hist, base = _gate_dirs(tmp_path, history_rates=(100000.0,), current=60000.0)
+    write_bench_file(base / "b.json", "b", [_record(events_per_sec=100000.0)])
+    code, out = _run_cli(
+        "gate", "--run", str(run_dir), "--history", str(hist), "--baseline", str(base)
+    )
+    assert code == benchcli.EXIT_REGRESSION
+    assert "fallback" in out
+
+
+def test_cli_gate_short_history_without_baseline_is_informational(tmp_path):
+    run_dir, hist, base = _gate_dirs(tmp_path, history_rates=(), current=100.0)
+    code, out = _run_cli(
+        "gate", "--run", str(run_dir), "--history", str(hist), "--baseline", str(base)
+    )
+    assert code == benchcli.EXIT_OK
+    assert "new" in out
+
+
+def test_cli_gate_append_and_reset(tmp_path):
+    run_dir, hist, base = _gate_dirs(tmp_path)
+    code, _out = _run_cli(
+        "gate", "--run", str(run_dir), "--history", str(hist),
+        "--baseline", str(base), "--append", "--max-history", "5",
+    )
+    assert code == benchcli.EXIT_OK
+    assert len(load_history(hist)) == 5  # 8 + 1 appended, pruned to 5
+    code, out = _run_cli(
+        "gate", "--run", str(run_dir), "--history", str(hist),
+        "--baseline", str(base), "--reset-history", "--append",
+    )
+    assert code == benchcli.EXIT_OK
+    assert len(load_history(hist)) == 1
+    assert "reset history" in out
+
+
+def test_cli_gate_errors_without_run_records(tmp_path):
+    code, _out = _run_cli(
+        "gate", "--run", str(tmp_path / "nope"), "--history", str(tmp_path / "h"),
+        "--baseline", str(tmp_path / "b"),
+    )
+    assert code == benchcli.EXIT_ERROR
