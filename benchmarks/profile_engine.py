@@ -8,7 +8,10 @@ workloads that dominate experiment wall time —
   heaviest point): RPC dispatch, PS queues and the event loop;
 * ``exp4_1000`` — the Hawkeye Manager aggregating 1000 machines
   (Figure 17's largest surviving point): fan-out query traffic plus
-  background advertisement churn —
+  background advertisement churn;
+* ``cohort_1e5`` — the cohort fast tier stepping 100k GRIS clients in
+  numpy epochs (docs/FIDELITY.md): vectorized admission, station
+  chains and the thread-gate heap rather than the per-event loop —
 
 and reports wall time, simulated events, events/sec and µs/event
 (best of ``--repeat``).  ``--profile`` adds a cProfile breakdown of
@@ -48,10 +51,16 @@ FAST = dict(warmup=BENCH_WARMUP, window=BENCH_WINDOW)
 WORKLOADS = {
     "exp1_600": lambda: exp1.run_point("mds-gris-cache", 600, seed=1, **FAST),
     "exp4_1000": lambda: exp4.run_point("hawkeye-manager", 1000, seed=1, **FAST),
+    "cohort_1e5": lambda: exp1.run_point(
+        "mds-gris-cache", 100_000, seed=1, fidelity="cohort", **FAST
+    ),
 }
 CONFIGS = {
     "exp1_600": {"system": "mds-gris-cache", "users": 600, **FAST},
     "exp4_1000": {"system": "hawkeye-manager", "servers": 1000, **FAST},
+    "cohort_1e5": {
+        "system": "mds-gris-cache", "users": 100_000, "fidelity": "cohort", **FAST
+    },
 }
 
 

@@ -265,15 +265,18 @@ def _cmd_show(args: argparse.Namespace, out: _t.TextIO) -> int:
         return EXIT_ERROR
     header = (
         f"{'bench:name':<60} {'wall s':>9} {'events':>10} {'ev/s':>12} "
-        f"{'q/s':>8} {'p95 s':>8} {'jobs':>5} {'spdup':>6} {'hits':>5}"
+        f"{'q/s':>8} {'p95 s':>8} {'jobs':>5} {'spdup':>6} {'hits':>5} "
+        f"{'fidelity':>9} {'popul.':>9}"
     )
     print(header, file=out)
     print("-" * len(header), file=out)
     for (bench, name), rec in sorted(run.items()):
+        pop = f"{rec.population:,d}" if rec.population else "-"
         print(
             f"{bench + ':' + name:<60} {rec.wall_seconds:>9.3f} {rec.events:>10,d} "
             f"{rec.events_per_sec:>12,.0f} {rec.throughput:>8.2f} {rec.latency_p95:>8.4f} "
-            f"{rec.jobs:>5d} {rec.wall_speedup:>6.2f} {rec.cache_hits:>5d}",
+            f"{rec.jobs:>5d} {rec.wall_speedup:>6.2f} {rec.cache_hits:>5d} "
+            f"{rec.fidelity:>9} {pop:>9}",
             file=out,
         )
     return EXIT_OK

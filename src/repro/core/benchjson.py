@@ -37,6 +37,12 @@ and points served from the :mod:`repro.core.parallel` point cache
 how the measurement was estimated: replication count, 95% CI half-width
 on throughput and whether the adaptive stopping rule converged — exact
 single-run benchmarks record ``1``/``0.0``/``true``.
+``fidelity``/``population`` (schema 4) describe the simulation tier
+that produced the points (``"exact"``, ``"cohort"`` or ``"meanfield"``;
+``"mixed"`` when a sweep combined tiers — see docs/FIDELITY.md) and the
+largest client population modelled (``0`` when no point carried one).
+Mean-field records have ``events_per_sec == 0`` (no event loop ran) and
+are therefore wall-clock-only for the throughput gate.
 
 :func:`compare` diffs a results directory against a committed baseline
 directory with a relative tolerance; :func:`append_history` /
@@ -68,12 +74,13 @@ __all__ = [
     "prune_history",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # Schema 1 records lack jobs/wall_speedup/cache_hits, schema 2 lacks
-# replications/throughput_ci/converged; both decode with the field
-# defaults, so committed baselines keep loading.
-_READABLE_SCHEMAS = (1, 2, 3)
+# replications/throughput_ci/converged, schema 3 lacks
+# fidelity/population; all decode with the field defaults, so committed
+# baselines keep loading.
+_READABLE_SCHEMAS = (1, 2, 3, 4)
 
 
 @dataclass
@@ -97,6 +104,10 @@ class BenchRecord:
     replications: int = 1
     throughput_ci: float = 0.0  # mean 95% CI half-width across sweep points
     converged: bool = True  # adaptive stopping rule met its precision target
+    # Fidelity metadata (schema 4): which simulation tier produced the
+    # points and the largest client population modelled.
+    fidelity: str = "exact"
+    population: int = 0
 
     @property
     def key(self) -> tuple[str, str]:
@@ -119,6 +130,8 @@ class BenchRecord:
             "replications": self.replications,
             "throughput_ci": round(self.throughput_ci, 4),
             "converged": self.converged,
+            "fidelity": self.fidelity,
+            "population": self.population,
         }
 
     @classmethod
@@ -139,6 +152,8 @@ class BenchRecord:
             replications=int(data.get("replications", 1)),
             throughput_ci=float(data.get("throughput_ci", 0.0)),
             converged=bool(data.get("converged", True)),
+            fidelity=str(data.get("fidelity", "exact")),
+            population=int(data.get("population", 0)),
         )
 
 
@@ -201,6 +216,11 @@ def record_from_result(
     replications = max((i.replications for i in infos), default=1)
     throughput_ci = sum(i.throughput_ci for i in infos) / len(infos) if infos else 0.0
     converged = all(i.converged for i in infos)
+    # Fidelity metadata (schema 4): one tier per record, or "mixed" when
+    # a sweep combined tiers (pre-fidelity PointResults read as exact).
+    tiers = {getattr(p, "fidelity", "exact") for p in points}
+    fidelity = tiers.pop() if len(tiers) == 1 else ("mixed" if tiers else "exact")
+    population = max((getattr(p, "population", 0) for p in points), default=0)
     return BenchRecord(
         bench=bench,
         name=name,
@@ -214,6 +234,8 @@ def record_from_result(
         replications=replications,
         throughput_ci=throughput_ci,
         converged=converged,
+        fidelity=fidelity,
+        population=population,
     )
 
 

@@ -92,6 +92,10 @@ def sweep_points(
         kw = {k: v for k, v in kwargs.items() if v is not None}
         if point_kwargs is not None:
             kw.update(point_kwargs[i])
+        # fidelity="exact" means the same run as an omitted fidelity;
+        # normalizing keeps cache keys identical to pre-fidelity sweeps.
+        if kw.get("fidelity") == "exact":
+            del kw["fidelity"]
         specs.append(PointSpec.from_call(run_point, tuple(args), kw))
     return run_specs(specs, jobs=jobs)
 

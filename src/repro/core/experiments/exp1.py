@@ -60,6 +60,7 @@ def run_point(
     adaptive: AdaptiveConfig | bool | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    fidelity: str | None = None,
 ) -> PointResult:
     """Measure one (system, users) coordinate of Figures 5-8.
 
@@ -68,6 +69,13 @@ def run_point(
     node is the information server under study — for the R-GMA variants
     that is the ProducerServlet, and the ConsumerServlets get their own
     small retry policy for the CS->PS mediation hop.
+
+    ``fidelity`` selects the simulation tier (``docs/FIDELITY.md``):
+    ``None``/``"exact"`` run the per-client DES unchanged; ``"cohort"``
+    and ``"meanfield"`` route the same deployment plan through
+    :func:`repro.core.fidelity.fast_point`.  Fast tiers model the
+    steady-state query path only, so they reject retry/fault/adaptive
+    runs.
     """
     if system not in SYSTEMS:
         raise ValueError(f"unknown exp1 system {system!r}; pick from {SYSTEMS}")
@@ -75,6 +83,21 @@ def run_point(
         raise ValueError(
             f"the UC variant supports at most {UC_VARIANT_MAX_USERS} users "
             "(the paper's ConsumerServlet limit)"
+        )
+    if fidelity is not None and fidelity != "exact":
+        from repro.core.fidelity import fast_point, require_plain_run
+
+        require_plain_run(fidelity, adaptive=adaptive, retry=retry, faults=faults)
+        return fast_point(
+            exp1_plan(system, seed),
+            system=system,
+            x=users,
+            users=users,
+            tier=fidelity,
+            params=params,
+            seed=seed,
+            warmup=warmup,
+            window=window,
         )
 
     if system.startswith("mds-gris"):

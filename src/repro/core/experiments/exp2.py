@@ -55,16 +55,34 @@ def run_point(
     adaptive: AdaptiveConfig | bool | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    fidelity: str | None = None,
 ) -> PointResult:
     """Measure one (system, users) coordinate of Figures 9-12.
 
     ``retry``/``faults`` re-run the same scenario as a fault experiment;
     the plan's fault target is the directory server under study.
+    ``fidelity`` selects the simulation tier exactly as in
+    :func:`repro.core.experiments.exp1.run_point`.
     """
     if system not in SYSTEMS:
         raise ValueError(f"unknown exp2 system {system!r}; pick from {SYSTEMS}")
     if system == "rgma-registry-uc" and users > UC_VARIANT_MAX_USERS:
         raise ValueError(f"the UC variant supports at most {UC_VARIANT_MAX_USERS} users")
+    if fidelity is not None and fidelity != "exact":
+        from repro.core.fidelity import fast_point, require_plain_run
+
+        require_plain_run(fidelity, adaptive=adaptive, retry=retry, faults=faults)
+        return fast_point(
+            exp2_plan(system, seed),
+            system=system,
+            x=users,
+            users=users,
+            tier=fidelity,
+            params=params,
+            seed=seed,
+            warmup=warmup,
+            window=window,
+        )
 
     if system == "mds-giis":
         monitored: tuple[str, ...] = ("lucky0",)

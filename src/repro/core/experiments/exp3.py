@@ -48,10 +48,31 @@ def run_point(
     warmup: float | None = None,
     window: float | None = None,
     adaptive: AdaptiveConfig | bool | None = None,
+    fidelity: str | None = None,
 ) -> PointResult:
-    """Measure one (system, collectors) coordinate of Figures 13-16."""
+    """Measure one (system, collectors) coordinate of Figures 13-16.
+
+    ``fidelity`` selects the simulation tier exactly as in
+    :func:`repro.core.experiments.exp1.run_point`; the x axis stays the
+    collector count, with ``users`` clients driving the fast model.
+    """
     if system not in SYSTEMS:
         raise ValueError(f"unknown exp3 system {system!r}; pick from {SYSTEMS}")
+    if fidelity is not None and fidelity != "exact":
+        from repro.core.fidelity import fast_point, require_plain_run
+
+        require_plain_run(fidelity, adaptive=adaptive)
+        return fast_point(
+            exp3_plan(system, collectors, seed),
+            system=system,
+            x=collectors,
+            users=users,
+            tier=fidelity,
+            params=params,
+            seed=seed,
+            warmup=warmup,
+            window=window,
+        )
 
     if system.startswith("mds-gris"):
         monitored: tuple[str, ...] = ("lucky7",)

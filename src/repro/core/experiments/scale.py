@@ -33,6 +33,10 @@ __all__ = [
     "DEPTHS",
     "FANOUTS",
     "USERS",
+    "FAST_DEPTHS",
+    "FAST_FANOUTS",
+    "FAST_USERS",
+    "MAX_EXACT_USERS",
     "ScalePoint",
     "run_scale_point",
     "sweep_scale",
@@ -46,6 +50,18 @@ DEPTHS = (1, 2, 3)
 FANOUTS = (2, 4, 8)
 
 USERS = 10
+
+# The fast-tier grid (docs/FIDELITY.md): 10^4-server hierarchies under
+# 10^5-10^6 concurrent users — two orders of magnitude past anything
+# the exact DES can simulate in reasonable time.
+FAST_DEPTHS = (2, 4)
+FAST_FANOUTS = (10, 100)
+FAST_USERS = (10_000, 100_000, 1_000_000)
+
+# Guard rail: one exact point at 600 users already takes ~10 s; the
+# paper's testbed never exceeded 600 either.  Past this, require an
+# explicit fast tier instead of silently burning hours.
+MAX_EXACT_USERS = 2_000
 
 
 @register_codec
@@ -70,10 +86,40 @@ def run_scale_point(
     params: StudyParams | None = None,
     warmup: float | None = None,
     window: float | None = None,
+    fidelity: str | None = None,
 ) -> ScalePoint:
-    """Measure one (depth, fanout) tree under ``users`` concurrent queriers."""
+    """Measure one (depth, fanout) tree under ``users`` concurrent queriers.
+
+    ``fidelity`` selects the simulation tier (docs/FIDELITY.md).  The
+    exact per-client DES is capped at ``MAX_EXACT_USERS``; the fast
+    tiers take the grid to 10^6 users and 10^4-server trees.
+    """
     if system not in SYSTEMS:
         raise ValueError(f"unknown scale system {system!r}; pick from {SYSTEMS}")
+    servers = fanout**depth
+    if fidelity is not None and fidelity != "exact":
+        from repro.core.fidelity import fast_point, require_plain_run
+
+        require_plain_run(fidelity)
+        result = fast_point(
+            hierarchy_plan(system, depth, fanout, seed),
+            system=f"{system}-tree-d{depth}",
+            x=servers,
+            users=users,
+            tier=fidelity,
+            params=params,
+            seed=seed,
+            warmup=warmup,
+            window=window,
+        )
+        return ScalePoint(
+            system=system, depth=depth, fanout=fanout, servers=servers, result=result
+        )
+    if users > MAX_EXACT_USERS:
+        raise ValueError(
+            f"{users} users exceeds the exact tier's {MAX_EXACT_USERS}-user cap; "
+            "pass fidelity='cohort' or fidelity='meanfield' for large populations"
+        )
     if system == "mds":
         server_node = "lucky0"
         payload_fn = lambda uid: {"filter": "(objectclass=*)"}  # noqa: E731
@@ -84,7 +130,6 @@ def run_scale_point(
     p = run.params.giis if system == "mds" else run.params.manager
     dep = compile_plan(hierarchy_plan(system, depth, fanout, seed), run)
 
-    servers = fanout**depth
     assert dep.entry is not None
     result = drive(
         run,

@@ -196,6 +196,14 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "points until CIs converge, annotate tables with ± half-widths",
     )
     parser.add_argument(
+        "--fidelity",
+        choices=("exact", "cohort", "meanfield"),
+        default=None,
+        help="simulation tier (docs/FIDELITY.md); the default exact tier "
+        "reproduces the committed tables byte-identically, the fast tiers "
+        "approximate figures 5-16 (figures 17-20 need the exact DES)",
+    )
+    parser.add_argument(
         "-j",
         "--jobs",
         type=int,
@@ -229,6 +237,18 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     unknown = [n for n in wanted if n not in FIGURES]
     if unknown:
         parser.error(f"unknown figure numbers: {unknown} (valid: 5-20)")
+    if args.fidelity not in (None, "exact"):
+        if args.adaptive:
+            parser.error("--adaptive needs the exact tier (drop --fidelity)")
+        exp4_wanted = [n for n in wanted if FIGURES[n].experiment is exp4]
+        if exp4_wanted:
+            if args.figures:
+                parser.error(
+                    f"figures {exp4_wanted} model aggregation-interval effects "
+                    "the fast tiers cannot capture; run them on the exact tier"
+                )
+            # Default "all figures" run: quietly keep 17-20 on what works.
+            wanted = [n for n in wanted if n not in exp4_wanted]
     cache_dir = args.cache_dir
     if cache_dir is None and args.cache:
         cache_dir = pathlib.Path("results/pointcache")
@@ -244,6 +264,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             from repro.core.stats import AdaptiveConfig
 
             kwargs["adaptive"] = AdaptiveConfig()
+        # "exact" is the default; omitting it keeps the point-cache keys
+        # (and therefore warm caches) identical to pre-fidelity runs.
+        if args.fidelity not in (None, "exact"):
+            kwargs["fidelity"] = args.fidelity
         if args.quick:
             exp = FIGURES[number].experiment
             if exp is exp4:

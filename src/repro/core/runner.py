@@ -83,6 +83,11 @@ class PointResult:
     # been reduced (experiments/common.py) — the CI across them.
     steady_state: SteadyStateInfo | None = None
     ci: ReplicationInfo | None = None
+    # Simulation fidelity tier that produced this point ("exact" is the
+    # per-client DES; fast tiers live in repro.core.fidelity) and the
+    # client population it modelled (0 = same as the sweep's x value).
+    fidelity: str = "exact"
+    population: int = 0
 
     # Figure-series accessors (Figures 5-20 plot these four metrics).
     @property

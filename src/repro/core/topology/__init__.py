@@ -19,6 +19,7 @@ from repro.core.topology.adapters import (
     resolve_host,
 )
 from repro.core.topology.plan import (
+    FIDELITY_TIERS,
     AggregateSpec,
     CollectorSpec,
     DeploymentPlan,
@@ -45,6 +46,7 @@ __all__ = [
     "DirectorySpec",
     "Edge",
     "EdgeKind",
+    "FIDELITY_TIERS",
     "NodeSpec",
     "PlanError",
     "ServerSpec",

@@ -26,6 +26,7 @@ from repro.core.testbed import LUCKY_NAMES
 
 __all__ = [
     "PlanError",
+    "FIDELITY_TIERS",
     "EdgeKind",
     "NodeSpec",
     "CollectorSpec",
@@ -39,6 +40,21 @@ __all__ = [
 
 class PlanError(ValueError):
     """A deployment plan that cannot exist (Table 1 or structure says no)."""
+
+
+# Simulation fidelity tiers a plan node may request (docs/FIDELITY.md):
+#
+# * ``exact``     — the discrete-event simulation, one process per client
+#   and per request (the default; every committed figure table uses it);
+# * ``cohort``    — numpy-vectorized client cohorts stepped in event
+#   epochs against the same cost model (:mod:`repro.sim.cohort`);
+# * ``meanfield`` — fixed-point throughput/response/load equations over
+#   the same cost model (:mod:`repro.core.fidelity`), for populations no
+#   per-client engine can reach.
+#
+# The tuple lives here (not in repro.core.fidelity) so plan validation
+# needs no import from the layer that consumes plans.
+FIDELITY_TIERS = ("exact", "cohort", "meanfield")
 
 
 class EdgeKind(enum.Enum):
@@ -67,6 +83,10 @@ class NodeSpec:
     own; ``tracked`` whether that service joins the run's crash
     accounting; ``fault_target`` marks where an injected
     :class:`~repro.sim.faults.FaultPlan` lands.
+
+    ``fidelity`` selects the simulation tier used when this node is the
+    plan's entry (one of :data:`FIDELITY_TIERS`); ``"exact"`` — the
+    default — is the per-client discrete-event simulation.
     """
 
     name: str
@@ -78,6 +98,7 @@ class NodeSpec:
     tracked: bool = True
     fault_target: bool = False
     options: dict[str, _t.Any] = field(default_factory=dict)
+    fidelity: str = "exact"
 
     role: _t.ClassVar[Role]
 
@@ -240,6 +261,11 @@ class DeploymentPlan:
                 )
             if spec.replicas < 1:
                 raise PlanError(f"node {spec.name!r}: replicas must be >= 1")
+            if spec.fidelity not in FIDELITY_TIERS:
+                raise PlanError(
+                    f"node {spec.name!r}: unknown fidelity {spec.fidelity!r} "
+                    f"(tiers are {', '.join(FIDELITY_TIERS)})"
+                )
             if spec.host is not None:
                 _check_placement(f"node {spec.name!r}", spec.host)
             for placement in spec.options.get("hosts", ()):

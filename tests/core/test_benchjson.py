@@ -257,8 +257,6 @@ def test_schema3_fields_round_trip(tmp_path):
     rec.throughput_ci = 0.42
     rec.converged = False
     write_bench_file(tmp_path / "b.json", "b", [rec])
-    data = json.loads((tmp_path / "b.json").read_text())
-    assert data["schema"] == 3
     loaded = load_bench_file(tmp_path / "b.json")[0]
     assert (loaded.replications, loaded.throughput_ci, loaded.converged) == (5, 0.42, False)
 
@@ -306,6 +304,59 @@ def test_record_extracts_estimation_metadata_from_adaptive_points():
 def test_record_exact_points_report_defaults():
     rec = record_from_result("b", "p", 1.0, FakePoint())
     assert (rec.replications, rec.throughput_ci, rec.converged) == (1, 0.0, True)
+
+
+# -- fidelity metadata (schema 4) ---------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeTieredPoint:
+    sim_events: int = 1000
+    summary: FakeSummary = dataclasses.field(default_factory=FakeSummary)
+    fidelity: str = "cohort"
+    population: int = 100_000
+
+
+def test_schema4_fields_round_trip(tmp_path):
+    rec = _record()
+    rec.fidelity = "meanfield"
+    rec.population = 1_000_000
+    write_bench_file(tmp_path / "b.json", "b", [rec])
+    data = json.loads((tmp_path / "b.json").read_text())
+    assert data["schema"] == 4
+    loaded = load_bench_file(tmp_path / "b.json")[0]
+    assert (loaded.fidelity, loaded.population) == ("meanfield", 1_000_000)
+
+
+def test_load_accepts_schema_3_baselines(tmp_path):
+    """Records written before fidelity tiers read back as exact."""
+    payload = {
+        "schema": 3,
+        "bench": "b",
+        "records": [{"bench": "b", "name": "p", "events_per_sec": 10.0}],
+    }
+    (tmp_path / "b.json").write_text(json.dumps(payload))
+    rec = load_bench_file(tmp_path / "b.json")[0]
+    assert (rec.fidelity, rec.population) == ("exact", 0)
+
+
+def test_record_carries_fidelity_and_population():
+    rec = record_from_result("b", "p", 1.0, FakeTieredPoint())
+    assert rec.fidelity == "cohort"
+    assert rec.population == 100_000
+
+
+def test_record_mixed_tiers_and_pre_fidelity_points():
+    # A sweep mixing tiers is labelled "mixed"; the population is the
+    # largest across its points.
+    rec = record_from_result(
+        "b", "p", 1.0, [FakeTieredPoint(), FakeTieredPoint(fidelity="meanfield")]
+    )
+    assert rec.fidelity == "mixed"
+    assert rec.population == 100_000
+    # PointResults predating the fidelity field read as exact.
+    rec = record_from_result("b", "p", 1.0, FakePoint())
+    assert (rec.fidelity, rec.population) == ("exact", 0)
 
 
 # -- run-over-run history -----------------------------------------------------
