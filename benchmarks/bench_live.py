@@ -1,0 +1,100 @@
+"""Smoke benchmarks for the live asyncio plane.
+
+Wall-clock-only records (``events_per_sec == 0`` — no DES event loop
+runs here): the perf gate checks presence, not rate, so these track
+that the live plane keeps booting, serving and twinning without
+timing-sensitive thresholds.  The heavier agreement gate is the CI
+``live-plane`` job (``repro-serve twin``).
+"""
+
+import asyncio
+
+from repro.core.params import WorkloadParams
+from repro.core.topology.catalog import exp1_plan
+from repro.live.loadgen import query_once, reduce_log, run_load
+from repro.live.runtime import AsyncioRuntime
+from repro.live.twin import run_twin
+
+TS = 0.02  # wall seconds per model second
+QUERIES = 50
+
+
+def _serve_queries(plan_name):
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan(plan_name))
+        async with dep:
+            for _ in range(QUERIES):
+                value, _body = await query_once(dep)
+        return value
+
+    return asyncio.run(main())
+
+
+def test_live_roundtrips(benchmark, benchjson):
+    """Boot each exp1 entry plan and serve 50 sequential real queries."""
+
+    def run_all():
+        return {
+            name: _serve_queries(name)
+            for name in ("mds-gris-cache", "hawkeye-agent", "rgma-ps-lucky")
+        }
+
+    values = benchmark.pedantic(
+        lambda: benchjson.timed(
+            "live_roundtrip[exp1]",
+            run_all,
+            config={"queries": QUERIES, "time_scale": TS},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert values["mds-gris-cache"]["entries"] > 0
+    assert values["hawkeye-agent"]["attrs"] > 0
+    assert values["rgma-ps-lucky"]["rows"] >= 0
+
+
+def test_live_closed_loop_load(benchmark, benchjson):
+    """A short closed-loop run: protocol-clean, non-zero goodput."""
+
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("mds-gris-cache"))
+        async with dep:
+            return await run_load(dep, users=5, duration=10.0, seed=1)
+
+    result = benchmark.pedantic(
+        lambda: benchjson.timed(
+            "live_load[mds-gris-cache]",
+            lambda: asyncio.run(main()),
+            config={"users": 5, "duration": 10.0, "time_scale": TS},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.protocol_errors == 0
+    assert reduce_log(result).completed > 0
+
+
+def test_live_twin_smoke(benchmark, benchjson):
+    """DES and live on one plan; records the wall cost of the twin gate."""
+
+    report = benchmark.pedantic(
+        lambda: benchjson.timed(
+            "live_twin[hawkeye-agent]",
+            lambda: run_twin(
+                exp1_plan("hawkeye-agent"),
+                users=4,
+                warmup=2.0,
+                window=8.0,
+                time_scale=0.05,
+                seed=2,
+                wp=WorkloadParams(start_spread=1.5),
+            ),
+            config={"users": 4, "warmup": 2.0, "window": 8.0, "time_scale": 0.05},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.protocol_errors == 0
+    assert report.live.completed > 0
+    benchmark.extra_info["throughput_delta"] = round(report.throughput_delta, 3)
+    benchmark.extra_info["response_delta_s"] = round(report.response_delta, 3)

@@ -8,42 +8,56 @@ testbed into the benchmark methodology of the paper:
 * :mod:`repro.core.testbed` — the Lucky/UC topology;
 * :mod:`repro.core.workload` — blocking closed-loop users, 1 s waits;
 * :mod:`repro.core.metrics` — throughput/response/load/load1 estimators;
-* :mod:`repro.core.services` — each component as a simulated service;
+* :mod:`repro.core.kernels` — runtime-agnostic service kernels;
+* :mod:`repro.core.services` — kernels bound to the simulated runtime;
 * :mod:`repro.core.runner` — per-point orchestration;
 * :mod:`repro.core.experiments` — the four experiment sets (§3.3-§3.6);
 * :mod:`repro.core.figures` — Figures 5-20 registry and CLI;
 * :mod:`repro.core.results` — series/figure containers and renderers.
+
+The re-exports below resolve lazily (PEP 562) so that sim-free modules
+— :mod:`repro.core.kernels` and the live plane built on them — can be
+imported without dragging the discrete-event simulator along.
 """
 
-from repro.core.components import COMPONENT_MAPPING, Role, System, component_for
-from repro.core.metrics import MetricsSummary, RequestLog, summarize
-from repro.core.params import StudyParams, default_params, measurement_window
-from repro.core.replication import ReplicateStat, replicate_point, summarize_replicates
-from repro.core.results import Figure, Series
-from repro.core.runner import PointResult, ScenarioRun, drive, new_run
-from repro.core.testbed import LUCKY_NAMES, Testbed, build_testbed
+import importlib
 
-__all__ = [
-    "Role",
-    "System",
-    "COMPONENT_MAPPING",
-    "component_for",
-    "StudyParams",
-    "default_params",
-    "measurement_window",
-    "Testbed",
-    "build_testbed",
-    "LUCKY_NAMES",
-    "RequestLog",
-    "MetricsSummary",
-    "summarize",
-    "ScenarioRun",
-    "PointResult",
-    "new_run",
-    "drive",
-    "Figure",
-    "Series",
-    "ReplicateStat",
-    "replicate_point",
-    "summarize_replicates",
-]
+_LAZY = {
+    "Role": "repro.core.components",
+    "System": "repro.core.components",
+    "COMPONENT_MAPPING": "repro.core.components",
+    "component_for": "repro.core.components",
+    "StudyParams": "repro.core.params",
+    "default_params": "repro.core.params",
+    "measurement_window": "repro.core.params",
+    "Testbed": "repro.core.testbed",
+    "build_testbed": "repro.core.testbed",
+    "LUCKY_NAMES": "repro.core.testbed",
+    "RequestLog": "repro.core.metrics",
+    "MetricsSummary": "repro.core.metrics",
+    "summarize": "repro.core.metrics",
+    "ScenarioRun": "repro.core.runner",
+    "PointResult": "repro.core.runner",
+    "new_run": "repro.core.runner",
+    "drive": "repro.core.runner",
+    "Figure": "repro.core.results",
+    "Series": "repro.core.results",
+    "ReplicateStat": "repro.core.replication",
+    "replicate_point": "repro.core.replication",
+    "summarize_replicates": "repro.core.replication",
+}
+
+__all__ = list(_LAZY)
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -40,6 +40,7 @@ import shutil
 import sys
 import typing as _t
 
+from repro.core.cliversion import add_version_argument
 from repro.core.benchjson import (
     append_history,
     compare,
@@ -66,6 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-bench",
         description="Compare and maintain machine-readable benchmark records.",
     )
+    add_version_argument(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     cmp_p = sub.add_parser("compare", help="diff a run against the committed baselines")

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from time import perf_counter
 
 from repro.core import parallel
+from repro.core.cliversion import add_version_argument
 from repro.core.experiments import exp1, exp2, exp3, exp4
 from repro.core.results import Figure, Series
 from repro.core.runner import PointResult
@@ -176,6 +177,7 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         prog="repro-figures",
         description="Regenerate figures 5-20 of Zhang/Freschl/Schopf (HPDC 2003).",
     )
+    add_version_argument(parser)
     parser.add_argument(
         "figures",
         nargs="*",

@@ -1,0 +1,262 @@
+"""Plan materialization: domain objects and edges, runtime-free.
+
+The first two compile phases of a :class:`DeploymentPlan` — build the
+functional objects (GRIS, GIIS, Manager, Agent, ProducerServlet,
+Registry) and apply the plan's edges (registrations, producer
+attachment, priming) — involve no simulator and no sockets, yet they
+used to live inside the DES topology adapters.  This module is their
+single home: :mod:`repro.core.topology` calls these functions to fill a
+``Deployment``, and the live plane (:mod:`repro.live`) calls the same
+functions so both runtimes serve *identical* data from an identical
+plan.
+
+Everything here is deterministic in the plan (seeds come from specs),
+mutates only the ``objects``/``extras`` dicts it is handed, and imports
+nothing from :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.components import System
+from repro.core.topology.plan import (
+    AggregateSpec,
+    CollectorSpec,
+    DeploymentPlan,
+    DirectorySpec,
+    EdgeKind,
+    NodeSpec,
+    ServerSpec,
+)
+
+__all__ = [
+    "bank_placements",
+    "materialize_plan",
+    "connect_plan",
+    "mds_materialize",
+    "mds_connect",
+    "rgma_materialize",
+    "rgma_connect",
+    "hawkeye_materialize",
+    "hawkeye_connect",
+]
+
+
+def bank_placements(spec: NodeSpec) -> list[str]:
+    """Round-robin placement list for a replicated bank."""
+    hosts = spec.options.get("hosts")
+    if hosts:
+        return list(hosts)
+    if spec.host is not None:
+        return [spec.host]
+    return []
+
+
+# -- MDS ----------------------------------------------------------------------
+
+
+def _mds_collector_count(plan: DeploymentPlan, spec: NodeSpec) -> int:
+    for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
+        source = plan.node(edge.source)
+        assert isinstance(source, CollectorSpec)
+        return source.count
+    return 10
+
+
+def _make_puller(gris: _t.Any) -> _t.Callable[[float], tuple[list, float]]:
+    def puller(now: float, gris=gris) -> tuple[list, float]:
+        result = gris.search(now=now)
+        return result.entries, result.exec_cost
+
+    return puller
+
+
+def mds_materialize(
+    plan: DeploymentPlan, objects: dict[str, _t.Any], extras: dict[str, _t.Any]
+) -> None:
+    from repro.mds.giis import GIIS
+    from repro.mds.gris import GRIS
+    from repro.mds.providers import replicated_providers
+
+    for spec in plan.nodes:
+        if isinstance(spec, ServerSpec):
+            count = _mds_collector_count(plan, spec)
+            ttl = float("inf") if spec.cached else 0.0
+            if spec.replicas == 1 and "hostname_format" not in spec.options:
+                hostname = spec.options.get("hostname", f"{spec.host}.mcs.anl.gov")
+                gris = GRIS(
+                    hostname, replicated_providers(count), cachettl=ttl, seed=spec.seed
+                )
+                if spec.primed:
+                    gris.search(now=0.0)  # prime the cache before measurement
+                objects[spec.name] = gris
+                continue
+            # A bank: "multiple instances at each Lucky node" (paper §3.6).
+            placements = bank_placements(spec)
+            name_format = spec.options.get("hostname_format", spec.name + "{i}")
+            bank = []
+            for i in range(spec.replicas):
+                node = placements[i % len(placements)] if placements else ""
+                hostname = name_format.format(node=node, i=i)
+                bank.append(
+                    GRIS(
+                        hostname,
+                        replicated_providers(count),
+                        cachettl=ttl,
+                        seed=spec.seed + i,
+                    )
+                )
+            objects[spec.name] = bank
+        elif isinstance(spec, (AggregateSpec, DirectorySpec)):
+            if spec.variant == "fanout":
+                continue  # pure service node, no resident GIIS state
+            objects[spec.name] = GIIS(
+                spec.options.get("giis_name", spec.name),
+                cachettl=spec.options.get("cachettl", float("inf")),
+            )
+
+
+def mds_connect(
+    plan: DeploymentPlan, objects: dict[str, _t.Any], extras: dict[str, _t.Any]
+) -> None:
+    for edge in plan.edges:
+        if edge.kind is not EdgeKind.REGISTRATION:
+            continue
+        giis = objects[edge.target]
+        pullers = extras.setdefault(f"pullers:{edge.target}", {})
+        ttl = float(edge.options.get("ttl", 1e12))
+        source = objects[edge.source]
+        if isinstance(source, list):
+            label_format = edge.options.get("label_format", edge.source + "{i}")
+            for i, gris in enumerate(source):
+                label = label_format.format(i=i)
+                puller = _make_puller(gris)
+                pullers[label] = puller
+                giis.register(label, puller, now=0.0, ttl=ttl)
+        else:
+            label = edge.options.get("label", edge.source)
+            puller = _make_puller(source)
+            pullers[label] = puller
+            giis.register(label, puller, now=0.0, ttl=ttl)
+    for spec in plan.nodes:
+        if isinstance(spec, (AggregateSpec, DirectorySpec)) and spec.primed:
+            # "cachettl ... set to a very large value ... always in cache"
+            objects[spec.name].query(now=0.0)
+
+
+# -- R-GMA --------------------------------------------------------------------
+
+
+def rgma_materialize(
+    plan: DeploymentPlan, objects: dict[str, _t.Any], extras: dict[str, _t.Any]
+) -> None:
+    from repro.rgma.producer import make_default_producers
+    from repro.rgma.producer_servlet import ProducerServlet
+    from repro.rgma.registry import Registry
+
+    for spec in plan.nodes:
+        if isinstance(spec, DirectorySpec):
+            objects[spec.name] = Registry(spec.options.get("registry_name", spec.name))
+        elif isinstance(spec, ServerSpec) and spec.variant == "default":
+            servlet = ProducerServlet(spec.options.get("servlet_name", spec.name))
+            objects[spec.name] = servlet
+            for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
+                collector = plan.node(edge.source)
+                assert isinstance(collector, CollectorSpec)
+                hostname = spec.options.get("producer_host", f"{spec.host}.mcs.anl.gov")
+                extras[f"producers:{spec.name}"] = make_default_producers(
+                    hostname, collector.count, seed=collector.seed
+                )
+
+
+def rgma_connect(
+    plan: DeploymentPlan, objects: dict[str, _t.Any], extras: dict[str, _t.Any]
+) -> None:
+    for edge in plan.edges:
+        if edge.kind is not EdgeKind.REGISTRATION:
+            continue
+        servlet = objects[edge.source]
+        registry = objects[edge.target]
+        lease = float(edge.options.get("lease", 1e9))
+        for producer in extras.get(f"producers:{edge.source}", ()):
+            servlet.attach(producer, registry, now=0.0, lease=lease)
+    for spec in plan.nodes:
+        if isinstance(spec, ServerSpec) and spec.variant == "default" and spec.primed:
+            # Initial measurement round so queries return rows.
+            objects[spec.name].publish_all(now=0.0)
+
+
+# -- Hawkeye ------------------------------------------------------------------
+
+
+def _hawkeye_modules(plan: DeploymentPlan, spec: ServerSpec) -> list:
+    from repro.hawkeye.modules import make_default_modules, replicated_modules
+
+    for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
+        collector = plan.node(edge.source)
+        assert isinstance(collector, CollectorSpec)
+        if collector.flavor == "default":
+            return make_default_modules()
+        return replicated_modules(collector.count)
+    return make_default_modules()
+
+
+def hawkeye_materialize(
+    plan: DeploymentPlan, objects: dict[str, _t.Any], extras: dict[str, _t.Any]
+) -> None:
+    from repro.hawkeye.agent import Agent
+    from repro.hawkeye.manager import Manager
+
+    for spec in plan.nodes:
+        if isinstance(spec, (AggregateSpec, DirectorySpec)):
+            if spec.variant == "fanout":
+                continue
+            objects[spec.name] = Manager(spec.options.get("manager_name", spec.name))
+        elif isinstance(spec, ServerSpec) and not spec.options.get("synthetic"):
+            objects[spec.name] = Agent(
+                spec.options.get("agent_machine", f"{spec.host}.mcs.anl.gov"),
+                _hawkeye_modules(plan, spec),
+                seed=spec.seed,
+            )
+
+
+def hawkeye_connect(
+    plan: DeploymentPlan, objects: dict[str, _t.Any], extras: dict[str, _t.Any]
+) -> None:
+    for edge in plan.edges:
+        if edge.kind is not EdgeKind.REGISTRATION:
+            continue
+        agent = objects[edge.source]
+        manager = objects[edge.target]
+        manager.register_agent(agent)
+        ad, _ = agent.make_startd_ad(now=0.0)
+        manager.receive_ad(ad, now=0.0)  # pool is warm at t=0
+
+
+# -- dispatch -----------------------------------------------------------------
+
+_MATERIALIZE = {
+    System.MDS: mds_materialize,
+    System.RGMA: rgma_materialize,
+    System.HAWKEYE: hawkeye_materialize,
+}
+_CONNECT = {
+    System.MDS: mds_connect,
+    System.RGMA: rgma_connect,
+    System.HAWKEYE: hawkeye_connect,
+}
+
+
+def materialize_plan(
+    plan: DeploymentPlan, objects: dict[str, _t.Any], extras: dict[str, _t.Any]
+) -> None:
+    """Phase-1 compile: build the plan's functional objects into ``objects``."""
+    _MATERIALIZE[plan.system](plan, objects, extras)
+
+
+def connect_plan(
+    plan: DeploymentPlan, objects: dict[str, _t.Any], extras: dict[str, _t.Any]
+) -> None:
+    """Phase-2 compile: apply the plan's edges and prime caches."""
+    _CONNECT[plan.system](plan, objects, extras)

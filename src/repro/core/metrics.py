@@ -19,10 +19,11 @@ import math
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.sim.faults import Outage
-from repro.sim.host import Host
-from repro.sim.monitor import Ganglia
-from repro.sim.rpc import RetryStats
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.faults import Outage
+    from repro.sim.host import Host
+    from repro.sim.monitor import Ganglia
+    from repro.sim.rpc import RetryStats
 
 __all__ = [
     "RequestRecord",
@@ -281,6 +282,8 @@ def resilience_summary(
             if rolling >= threshold:
                 recovery = max(0.0, (window_start + (i + 1) * bucket) - last_up)
                 break
+
+    from repro.sim.rpc import RetryStats  # runtime-only: module stays sim-free at import
 
     rs = retry_stats or RetryStats()
     return ResilienceSummary(

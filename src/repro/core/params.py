@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.sim.rpc import ConnectionOverhead
+from repro.core.costmodel import ConnectionOverhead
 
 __all__ = [
     "GrisParams",

@@ -17,6 +17,7 @@ import argparse
 import typing as _t
 from dataclasses import dataclass
 
+from repro.core.cliversion import add_version_argument
 from repro.core.experiments import exp1, exp2, exp3, exp4
 from repro.core.experiments.common import adaptive_point
 from repro.core.runner import PointResult
@@ -311,6 +312,7 @@ def render_adaptive_appendix(points: dict[tuple, PointResult]) -> str:
 
 def main(argv: _t.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-report", description=__doc__)
+    add_version_argument(parser)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--fast", action="store_true", help="coarse 20 s windows")
     parser.add_argument(

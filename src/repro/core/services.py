@@ -1,10 +1,12 @@
-"""Simulation adapters: each monitoring component as a network service.
+"""DES service factories: each monitoring component as a network service.
 
-This is where the functional systems (``repro.mds`` / ``repro.rgma`` /
-``repro.hawkeye``) meet the cost models (``repro.core.params``): every
-factory wraps a functional object in a :class:`~repro.sim.rpc.Service`
-whose handler charges calibrated CPU/lock/latency costs while producing
-*real* answers (LDAP entries, SQL rows, ClassAds).
+The request/response logic itself lives in the runtime-agnostic kernels
+(:mod:`repro.core.kernels`); this module is the *DES binding* — each
+factory builds the simulator-owned pieces (a
+:class:`~repro.sim.resources.Mutex` per serialized back end, the
+:class:`~repro.sim.rpc.Service` container) and hands the kernel to
+:func:`repro.core.desruntime.kernel_service` for interpretation.  The
+live plane (:mod:`repro.live`) binds the *same* kernels to asyncio.
 
 Cost-model conventions (DESIGN.md §2):
 
@@ -21,7 +23,27 @@ from __future__ import annotations
 import typing as _t
 
 from repro.core.components import Role, System
-from repro.core.costmodel import busy_split, held
+from repro.core.desruntime import kernel_service
+from repro.core.kernels.hawkeye import (
+    AgentKernel,
+    ManagerAggregateKernel,
+    ManagerDirectoryKernel,
+    ManagerFanoutKernel,
+    ManagerIngestKernel,
+)
+from repro.core.kernels.mds import (
+    GiisAggregateKernel,
+    GiisDirectoryKernel,
+    GiisFanoutKernel,
+    GiisLeafKernel,
+    GiisRegistrationKernel,
+    GrisKernel,
+)
+from repro.core.kernels.rgma import (
+    ConsumerServletKernel,
+    ProducerServletKernel,
+    RegistryKernel,
+)
 from repro.core.params import (
     AgentParams,
     ConsumerServletParams,
@@ -31,19 +53,17 @@ from repro.core.params import (
     ProducerServletParams,
     RegistryParams,
 )
-from repro.errors import RegistryError, ServiceCrashError
 from repro.hawkeye.agent import Agent
 from repro.hawkeye.manager import Manager
 from repro.mds.giis import GIIS
 from repro.mds.gris import GRIS
-from repro.rgma.consumer_servlet import ConsumerServlet
 from repro.rgma.producer_servlet import ProducerServlet
 from repro.rgma.registry import Registry
 from repro.sim.engine import Simulator
 from repro.sim.host import Host
 from repro.sim.network import Network
 from repro.sim.resources import Mutex
-from repro.sim.rpc import Request, Response, RetryPolicy, Service, call
+from repro.sim.rpc import RetryPolicy, Service
 
 __all__ = [
     "SERVICE_FACTORIES",
@@ -98,79 +118,23 @@ def service_factory(
 # -- MDS ----------------------------------------------------------------------
 
 
-def _gris_stale_count(gris: GRIS, now: float) -> int:
-    """How many providers a search at ``now`` would re-run (no side effects)."""
-    return gris.cache.stale_count(now, (provider.name for provider in gris.providers))
-
-
 @_factory(System.MDS, (Role.INFORMATION_SERVER, "default"))
 def make_gris_service(
     sim: Simulator, net: Network, host: Host, gris: GRIS, p: GrisParams
 ) -> Service:
     """The MDS GRIS as a network service (Experiments 1 and 3)."""
-    provider_mutex = Mutex(sim, name=f"gris:{gris.hostname}:providers")
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        if _gris_stale_count(gris, sim.now):
-            yield provider_mutex.acquire()
-            try:
-                stale = _gris_stale_count(gris, sim.now)  # recheck after queueing
-                if stale:
-                    yield from busy_split(
-                        sim, host, stale * p.provider_hold, p.provider_cpu_fraction
-                    )
-                result = gris.search(now=sim.now)
-            finally:
-                provider_mutex.release()
-        else:
-            result = gris.search(now=sim.now)
-        yield host.compute(len(result.entries) * p.cpu_per_entry)
-        return Response(
-            value={"entries": len(result.entries), "fetched": result.fetched},
-            size=result.estimated_size(),
-        )
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"gris:{gris.hostname}",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
+    kernel = GrisKernel(
+        gris, p, providers_lock=Mutex(sim, name=f"gris:{gris.hostname}:providers")
     )
+    return kernel_service(sim, net, host, kernel.spec())
 
 
 @_factory(System.MDS, (Role.DIRECTORY_SERVER, "default"))
 def make_giis_directory_service(
     sim: Simulator, net: Network, host: Host, giis: GIIS, p: GiisParams
 ) -> Service:
-    """The GIIS in its directory-server role (Experiment 2).
-
-    Data is always in cache (the paper set cachettl very large), so a
-    query is pure LDAP-backend work.
-    """
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        result = giis.query(now=sim.now)
-        return Response(
-            value={"entries": len(result.entries)},
-            size=result.estimated_size(),
-        )
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"giis:{giis.name}",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
-    )
+    """The GIIS in its directory-server role (Experiment 2)."""
+    return kernel_service(sim, net, host, GiisDirectoryKernel(giis, p).spec())
 
 
 @_factory(System.MDS, (Role.AGGREGATE_INFORMATION_SERVER, "default"))
@@ -184,44 +148,15 @@ def make_giis_aggregate_service(
     query_part: bool = False,
     part_size: int = 10,
 ) -> Service:
-    """The GIIS in its aggregate role (Experiment 4).
-
-    Result assembly over G registrants is serialized in the LDAP
-    backend with superlinear cost; ``query_part`` asks for a fixed-size
-    subset of registrants (the paper's second query type).
-    """
-    assembly_mutex = Mutex(sim, name=f"giis:{giis.name}:assembly")
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        g = giis.registrant_count
-        if not query_part and p.max_queryall_registrants and g > p.max_queryall_registrants:
-            giis.crashed = True
-            service.crash(f"query-all over {g} registrants")
-            raise ServiceCrashError(
-                f"GIIS {giis.name} crashed answering query-all over {g} registrants"
-            )
-        scale = p.part_fraction if query_part else 1.0
-        cost = scale * p.aggregate_cpu_coeff * (g ** p.aggregate_cpu_exp)
-        yield from held(sim, host, assembly_mutex, cost, cpu_fraction=0.85)
-        if query_part:
-            names = [reg.name for reg in giis.registrations.alive(sim.now)][:part_size]
-            result = giis.query(now=sim.now, subset=names)
-        else:
-            result = giis.query(now=sim.now)
-        size = max(result.estimated_size(), len(result.entries) * p.entry_wire_bytes)
-        return Response(value={"entries": len(result.entries)}, size=size)
-
-    suffix = "part" if query_part else "all"
-    return Service(
-        sim,
-        net,
-        host,
-        f"giis:{giis.name}:{suffix}",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
+    """The GIIS in its aggregate role (Experiment 4)."""
+    kernel = GiisAggregateKernel(
+        giis,
+        p,
+        assembly_lock=Mutex(sim, name=f"giis:{giis.name}:assembly"),
+        query_part=query_part,
+        part_size=part_size,
     )
+    return kernel_service(sim, net, host, kernel.spec())
 
 
 @_factory(
@@ -237,74 +172,16 @@ def make_giis_registration_service(
     p: GiisParams,
     pullers: _t.Mapping[str, _t.Callable[[float], tuple[list, float]]],
 ) -> Service:
-    """The GIIS's soft-state registration endpoint.
-
-    Accepts ``{"op": "register"|"renew", "name": ..., "ttl": ...}``
-    payloads from downstream GRIS (see
-    :func:`repro.mds.resilience.soft_state_registrar`).  A renew of an
-    expired/unknown name answers ``{"renewed": False}`` so the client
-    knows to fall back to a full re-register — the recovery path after
-    an injected GIIS outage outlives the registration leases.
-
-    ``pullers`` maps registrant names to their pull callbacks (the wire
-    protocol carries names; the in-process GIIS needs the callable).
-    """
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        payload = request.payload if isinstance(request.payload, dict) else {}
-        op = payload.get("op", "renew")
-        name = payload.get("name", "")
-        ttl = float(payload.get("ttl", 600.0))
-        if op == "register":
-            puller = pullers.get(name)
-            if puller is None:
-                raise RegistryError(f"no puller known for registrant {name!r}")
-            giis.register(name, puller, now=sim.now, ttl=ttl)
-            return Response(value={"registered": True}, size=128)
-        renewed = giis.renew(name, now=sim.now)
-        return Response(value={"renewed": renewed}, size=96)
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"giis:{giis.name}:reg",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-    )
+    """The GIIS's soft-state registration endpoint."""
+    return kernel_service(sim, net, host, GiisRegistrationKernel(giis, p, pullers).spec())
 
 
 @_factory(System.MDS, (Role.AGGREGATE_INFORMATION_SERVER, "leaf"))
 def make_giis_leaf_service(
     sim: Simulator, net: Network, host: Host, giis: GIIS, p: GiisParams
 ) -> Service:
-    """A mid-/leaf-level GIIS inside a hierarchy (§3.6's suggested fix).
-
-    Unlike the top-level aggregate, a subtree GIIS answers from its own
-    primed cache with pure CPU assembly cost — the serialized LDAP
-    backend bottleneck belongs to the node the users hit, and the whole
-    point of the hierarchy is that this work happens in parallel across
-    nodes.
-    """
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        cost = p.aggregate_cpu_coeff * (giis.registrant_count ** p.aggregate_cpu_exp)
-        yield host.compute(cost)
-        result = giis.query(now=sim.now)
-        size = max(result.estimated_size(), len(result.entries) * p.entry_wire_bytes)
-        return Response(value={"entries": len(result.entries), "size": size}, size=size)
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"giis:{giis.name}",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-    )
+    """A mid-/leaf-level GIIS inside a hierarchy (§3.6's suggested fix)."""
+    return kernel_service(sim, net, host, GiisLeafKernel(giis, p).spec())
 
 
 @_factory(System.MDS, (Role.AGGREGATE_INFORMATION_SERVER, "fanout"))
@@ -318,42 +195,9 @@ def make_giis_fanout_service(
     label: str = "giis:top",
     top: bool = True,
 ) -> Service:
-    """An interior GIIS aggregating child GIIS services concurrently.
-
-    The node's own assembly cost covers only its direct children; the
-    heavy per-registrant work happens in parallel at the children.
-    ``top`` adds client connection overhead (only the root faces users).
-    """
-    k = len(children)
-    cost = p.aggregate_cpu_coeff * (k ** p.aggregate_cpu_exp)
-
-    def sub_call(child: Service, payload: _t.Any) -> _t.Generator:
-        value = yield from call(sim, net, host, child, payload, size=512)
-        return value
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(cost)
-        workers = [
-            sim.spawn(sub_call(child, request.payload), name=f"fan:{child.name}")
-            for child in children
-        ]
-        yield sim.all_of(workers)
-        entries = sum(w.value["entries"] for w in workers if w.ok and isinstance(w.value, dict))
-        size = sum(w.value["size"] for w in workers if w.ok and isinstance(w.value, dict))
-        return Response(
-            value={"entries": entries, "size": max(size, 512)}, size=max(size, 512)
-        )
-
-    return Service(
-        sim,
-        net,
-        host,
-        label,
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead if top else None,
-    )
+    """An interior GIIS aggregating child GIIS services concurrently."""
+    kernel = GiisFanoutKernel(children, p, label=label, top=top)
+    return kernel_service(sim, net, host, kernel.spec())
 
 
 # -- Hawkeye -------------------------------------------------------------
@@ -363,42 +207,11 @@ def make_giis_fanout_service(
 def make_agent_service(
     sim: Simulator, net: Network, host: Host, agent: Agent, p: AgentParams
 ) -> Service:
-    """The Hawkeye Agent as a network service (Experiments 1 and 3).
-
-    Every query re-collects the modules under the Startd lock — the
-    Agent "has to retrieve new information for each query" (§3.3) —
-    with the quadratic integration cost of ClassAd merging.
-    """
-    startd_mutex = Mutex(sim, name=f"agent:{agent.machine}:startd")
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        m = agent.module_count
-        # Lock-convoy degradation: the hold inflates with the queue the
-        # request joins, producing the paper's post-threshold decline in
-        # throughput and host load (Figs 5, 7).
-        hold = p.fetch_quad_coeff * (m * m) * (1.0 + p.convoy_coeff * startd_mutex.queue_length)
-        yield startd_mutex.acquire()
-        try:
-            yield from busy_split(sim, host, hold, p.fetch_cpu_fraction)
-            answer = agent.query(now=sim.now)
-        finally:
-            startd_mutex.release()
-        return Response(
-            value={"attrs": len(answer.ad), "modules": answer.modules_run},
-            size=answer.estimated_size(),
-        )
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"agent:{agent.machine}",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
+    """The Hawkeye Agent as a network service (Experiments 1 and 3)."""
+    kernel = AgentKernel(
+        agent, p, startd_lock=Mutex(sim, name=f"agent:{agent.machine}:startd")
     )
+    return kernel_service(sim, net, host, kernel.spec())
 
 
 @_factory(System.HAWKEYE, (Role.DIRECTORY_SERVER, "default"))
@@ -406,31 +219,7 @@ def make_manager_directory_service(
     sim: Simulator, net: Network, host: Host, manager: Manager, p: ManagerParams
 ) -> Service:
     """The Manager in its directory role (Experiment 2): indexed lookups."""
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        machine = None
-        if isinstance(request.payload, dict):
-            machine = request.payload.get("machine")
-        if machine:
-            answer = manager.query_machine(machine)
-        else:
-            answer = manager.query('Name == "lucky4.mcs.anl.gov"')
-        return Response(
-            value={"ads": len(answer.ads)},
-            size=max(answer.estimated_size(), 512),
-        )
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"manager:{manager.name}:dir",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
-    )
+    return kernel_service(sim, net, host, ManagerDirectoryKernel(manager, p).spec())
 
 
 @_factory(System.HAWKEYE, (Role.AGGREGATE_INFORMATION_SERVER, "default"))
@@ -444,37 +233,12 @@ def make_manager_aggregate_service(
 ) -> tuple[Service, Mutex]:
     """The Manager in its aggregate role (Experiment 4).
 
-    Queries run the paper's worst case — "a constraint that was not met
-    by any machine" — scanning every resident Startd ad under the
-    collector lock.  Returns the service and the lock so the ingest
-    service can share it.
+    Returns the service and the collector lock so the ingest service can
+    share it.
     """
     lock = collector_mutex or Mutex(sim, name=f"manager:{manager.name}:collector")
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        pool = manager.pool_size
-        scan_cost = p.scan_cpu_per_ad * pool
-        yield lock.acquire()
-        try:
-            if scan_cost > 0:
-                yield host.compute(scan_cost)
-            answer = manager.query("TARGET.CpuLoad > 50")  # matches nothing
-        finally:
-            lock.release()
-        return Response(value={"ads": len(answer.ads), "scanned": answer.scanned}, size=512)
-
-    service = Service(
-        sim,
-        net,
-        host,
-        f"manager:{manager.name}:agg",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
-    )
-    return service, lock
+    kernel = ManagerAggregateKernel(manager, p, collector_lock=lock)
+    return kernel_service(sim, net, host, kernel.spec()), lock
 
 
 @_factory(
@@ -491,23 +255,8 @@ def make_manager_ingest_service(
     collector_mutex: Mutex,
 ) -> Service:
     """The Manager's ad-ingestion path (hawkeye_advertise traffic)."""
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.ad_ingest_cpu)
-        yield from held(sim, host, collector_mutex, p.ad_ingest_hold, cpu_fraction=1.0)
-        ad = request.payload["ad"]
-        manager.receive_ad(ad, now=sim.now)
-        return Response(value={"ok": True}, size=64)
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"manager:{manager.name}:ingest",
-        handler,
-        max_threads=16,
-        backlog=256,
-    )
+    kernel = ManagerIngestKernel(manager, p, collector_lock=collector_mutex)
+    return kernel_service(sim, net, host, kernel.spec())
 
 
 @_factory(System.HAWKEYE, (Role.AGGREGATE_INFORMATION_SERVER, "fanout"))
@@ -521,38 +270,9 @@ def make_manager_fanout_service(
     label: str = "manager:top",
     top: bool = True,
 ) -> Service:
-    """An interior Manager forwarding constraint scans to child Managers.
-
-    Each child scans its own pool concurrently; this node only merges
-    the k child answers (CPU-cheap, like the directory path).
-    """
-    k = len(children)
-
-    def sub_call(child: Service, payload: _t.Any) -> _t.Generator:
-        value = yield from call(sim, net, host, child, payload, size=p.request_size)
-        return value
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query * max(1, k))
-        workers = [
-            sim.spawn(sub_call(child, request.payload), name=f"fan:{child.name}")
-            for child in children
-        ]
-        yield sim.all_of(workers)
-        ads = sum(w.value["ads"] for w in workers if w.ok and isinstance(w.value, dict))
-        scanned = sum(w.value["scanned"] for w in workers if w.ok and isinstance(w.value, dict))
-        return Response(value={"ads": ads, "scanned": scanned}, size=512)
-
-    return Service(
-        sim,
-        net,
-        host,
-        label,
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead if top else None,
-    )
+    """An interior Manager forwarding constraint scans to child Managers."""
+    kernel = ManagerFanoutKernel(children, p, label=label, top=top)
+    return kernel_service(sim, net, host, kernel.spec())
 
 
 # -- R-GMA ----------------------------------------------------------------
@@ -562,39 +282,11 @@ def make_manager_fanout_service(
 def make_producer_servlet_service(
     sim: Simulator, net: Network, host: Host, servlet: ProducerServlet, p: ProducerServletParams
 ) -> Service:
-    """The R-GMA ProducerServlet (Experiments 1 and 3).
-
-    Queries serialize on the buffer database; the hold grows with the
-    number of attached producers (linear + quadratic mediation term).
-    """
-    db_mutex = Mutex(sim, name=f"ps:{servlet.name}:db")
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        m = len(servlet.producers)
-        hold = p.db_hold_linear * m + p.db_hold_quad * (m * m)
-        # Lock-convoy degradation past the saturation threshold (Figs 5, 7).
-        hold *= 1.0 + p.convoy_coeff * db_mutex.queue_length
-        yield from held(sim, host, db_mutex, hold, p.db_cpu_fraction)
-        sql = "SELECT * FROM cpuLoad"
-        if isinstance(request.payload, dict):
-            sql = request.payload.get("sql", sql)
-        answer = servlet.answer(sql)
-        return Response(
-            value={"rows": len(answer.result.rows)},
-            size=answer.estimated_size(),
-        )
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"ps:{servlet.name}",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
+    """The R-GMA ProducerServlet (Experiments 1 and 3)."""
+    kernel = ProducerServletKernel(
+        servlet, p, db_lock=Mutex(sim, name=f"ps:{servlet.name}:db")
     )
+    return kernel_service(sim, net, host, kernel.spec())
 
 
 @_factory(System.RGMA, (Role.INFORMATION_SERVER, "mediator"))
@@ -608,61 +300,20 @@ def make_consumer_servlet_service(
     retry: RetryPolicy | None = None,
 ) -> Service:
     """An R-GMA ConsumerServlet forwarding mediated queries to a
-    ProducerServlet service.
-
-    Registry consultation is mediated once per distinct query and then
-    cached (R-GMA's mediation plans), so the steady-state path is
-    CS -> PS -> CS.  ``retry`` makes the CS->PS hop resilient: during a
-    ProducerServlet outage the servlet retries with backoff instead of
-    bubbling the first refusal straight to its consumer.
-    """
-    mediation_mutex = Mutex(sim, name=f"cs:{name}:mediation")
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        yield from held(sim, host, mediation_mutex, p.mediation_hold, cpu_fraction=1.0)
-        value = yield from call(
-            sim, net, host, ps_service, request.payload, size=p.request_size, retry=retry
-        )
-        return Response(value=value, size=1024)
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"cs:{name}",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
+    ProducerServlet service."""
+    kernel = ConsumerServletKernel(
+        name,
+        ps_service,
+        p,
+        mediation_lock=Mutex(sim, name=f"cs:{name}:mediation"),
+        retry=retry,
     )
+    return kernel_service(sim, net, host, kernel.spec())
 
 
 @_factory(System.RGMA, (Role.DIRECTORY_SERVER, "default"))
 def make_registry_service(
     sim: Simulator, net: Network, host: Host, registry: Registry, p: RegistryParams
 ) -> Service:
-    """The R-GMA Registry as a directory server (Experiment 2).
-
-    Thread-per-request Java over a small worker pool: queries are
-    CPU-bound, so the run queue (load1) climbs well past the other
-    directory servers' — Figures 9 and 11.
-    """
-
-    def handler(service: Service, request: Request) -> _t.Generator:
-        yield host.compute(p.cpu_per_query)
-        table = "cpuLoad"
-        if isinstance(request.payload, dict):
-            table = request.payload.get("table", table)
-        regs = registry.lookup(table, now=sim.now)
-        return Response(value={"producers": len(regs)}, size=max(256, 128 * len(regs)))
-
-    return Service(
-        sim,
-        net,
-        host,
-        f"registry:{registry.name}",
-        handler,
-        max_threads=p.max_threads,
-        backlog=p.backlog,
-        conn_overhead=p.conn_overhead,
-    )
+    """The R-GMA Registry as a directory server (Experiment 2)."""
+    return kernel_service(sim, net, host, RegistryKernel(registry, p).spec())

@@ -7,13 +7,16 @@ cluster at the University of Chicago reached over a WAN.
 
 from __future__ import annotations
 
+import typing as _t
 from dataclasses import dataclass, field
 
 from repro.core.params import TestbedParams
-from repro.sim.engine import Simulator
-from repro.sim.host import Host
-from repro.sim.monitor import Ganglia
-from repro.sim.network import Network
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.host import Host
+    from repro.sim.monitor import Ganglia
+    from repro.sim.network import Network
 
 __all__ = ["Testbed", "build_testbed", "LUCKY_NAMES"]
 
@@ -56,6 +59,10 @@ def build_testbed(
     ``monitored`` restricts Ganglia sampling to named hosts (sampling
     all 27 hosts is wasted work when one server is under study).
     """
+    from repro.sim.host import Host
+    from repro.sim.monitor import Ganglia
+    from repro.sim.network import Network
+
     net = Network(sim, default_latency=params.lan_latency)
     net.set_latency("anl", "uc", params.wan_latency)
     net.add_shared_link("anl", "uc", params.wan_mbps)

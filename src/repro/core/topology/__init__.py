@@ -6,52 +6,60 @@ the paper's four functional roles, explicit registration / aggregation
 by a per-system :class:`SystemAdapter` into the repo's functional
 objects and :class:`~repro.sim.rpc.Service` instances.
 
-Importing this package registers the MDS, R-GMA and Hawkeye adapters.
+Accessing any adapter-related attribute (``compile_plan``,
+``ADAPTERS``, ...) registers the MDS, R-GMA and Hawkeye adapters.  The
+re-exports resolve lazily (PEP 562) so the pure plan layer —
+:mod:`~repro.core.topology.plan`, :mod:`~repro.core.topology.catalog`,
+:mod:`~repro.core.topology.planfile` — stays importable without the
+simulator; the runtime-agnostic kernels and the live plane depend on
+that.
 """
 
-from repro.core.topology.adapters import (
-    ADAPTERS,
-    CompileHooks,
-    Deployment,
-    SystemAdapter,
-    compile_plan,
-    register_adapter,
-    resolve_host,
-)
-from repro.core.topology.plan import (
-    FIDELITY_TIERS,
-    AggregateSpec,
-    CollectorSpec,
-    DeploymentPlan,
-    DirectorySpec,
-    Edge,
-    EdgeKind,
-    NodeSpec,
-    PlanError,
-    ServerSpec,
-)
+import importlib
 
-# Importing the system modules registers their adapters.
-from repro.core.topology import hawkeye as _hawkeye  # noqa: F401
-from repro.core.topology import mds as _mds  # noqa: F401
-from repro.core.topology import rgma as _rgma  # noqa: F401
-
-__all__ = [
-    "ADAPTERS",
+# Names served by the pure plan module (sim-free).
+_PLAN_ATTRS = {
+    "FIDELITY_TIERS",
     "AggregateSpec",
     "CollectorSpec",
-    "CompileHooks",
-    "Deployment",
     "DeploymentPlan",
     "DirectorySpec",
     "Edge",
     "EdgeKind",
-    "FIDELITY_TIERS",
     "NodeSpec",
     "PlanError",
     "ServerSpec",
+}
+
+# Names served by the adapter layer (pulls in the DES runtime).
+_ADAPTER_ATTRS = {
+    "ADAPTERS",
+    "CompileHooks",
+    "Deployment",
     "SystemAdapter",
     "compile_plan",
     "register_adapter",
     "resolve_host",
-]
+}
+
+__all__ = sorted(_PLAN_ATTRS | _ADAPTER_ATTRS)
+
+
+def __getattr__(name: str):
+    if name in _PLAN_ATTRS:
+        module = importlib.import_module("repro.core.topology.plan")
+    elif name in _ADAPTER_ATTRS:
+        module = importlib.import_module("repro.core.topology.adapters")
+        # Importing the system modules registers their adapters.
+        importlib.import_module("repro.core.topology.mds")
+        importlib.import_module("repro.core.topology.rgma")
+        importlib.import_module("repro.core.topology.hawkeye")
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -15,6 +15,7 @@ import sys
 import typing as _t
 from pathlib import Path
 
+from repro.core.cliversion import add_version_argument
 from repro.core.topology import catalog, planfile
 from repro.core.topology.plan import DeploymentPlan, PlanError
 
@@ -84,6 +85,7 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         prog="repro-topology",
         description="Inspect, export and validate declarative deployment plans.",
     )
+    add_version_argument(parser)
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the catalog of named plans")
     p_show = sub.add_parser("show", help="validate and pretty-print one plan")

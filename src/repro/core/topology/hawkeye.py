@@ -18,6 +18,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.core.components import Role, System
+from repro.core.kernels.build import hawkeye_connect, hawkeye_materialize
 from repro.core.runner import ScenarioRun
 from repro.core.services import service_factory
 from repro.core.topology.adapters import (
@@ -32,7 +33,6 @@ from repro.core.topology.plan import (
     AggregateSpec,
     CollectorSpec,
     DeploymentPlan,
-    DirectorySpec,
     Edge,
     EdgeKind,
     ServerSpec,
@@ -40,7 +40,6 @@ from repro.core.topology.plan import (
 from repro.hawkeye.advertise import synthesize_startd_ad
 from repro.hawkeye.agent import Agent
 from repro.hawkeye.manager import Manager
-from repro.hawkeye.modules import make_default_modules, replicated_modules
 from repro.hawkeye.resilience import AdvertiserStats, resilient_advertiser
 from repro.sim.resources import Mutex
 from repro.sim.rpc import Service, call
@@ -62,41 +61,15 @@ def _advertise_edges(plan: DeploymentPlan, name: str) -> list[Edge]:
 class HawkeyeAdapter(SystemAdapter):
     system = System.HAWKEYE
 
-    def materialize(self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment) -> None:
-        for spec in plan.nodes:
-            if isinstance(spec, (AggregateSpec, DirectorySpec)):
-                if spec.variant == "fanout":
-                    continue
-                dep.objects[spec.name] = Manager(
-                    spec.options.get("manager_name", spec.name)
-                )
-            elif isinstance(spec, ServerSpec) and not spec.options.get("synthetic"):
-                dep.objects[spec.name] = Agent(
-                    spec.options.get("agent_machine", f"{spec.host}.mcs.anl.gov"),
-                    self._modules(plan, spec),
-                    seed=spec.seed,
-                )
+    # -- phases 1+2: runtime-free, shared with the live plane ----------------
 
-    def _modules(self, plan: DeploymentPlan, spec: ServerSpec) -> list:
-        for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
-            collector = plan.node(edge.source)
-            assert isinstance(collector, CollectorSpec)
-            if collector.flavor == "default":
-                return make_default_modules()
-            return replicated_modules(collector.count)
-        return make_default_modules()
+    def materialize(self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment) -> None:
+        hawkeye_materialize(plan, dep.objects, dep.extras)
 
     def connect(
         self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
     ) -> None:
-        for edge in plan.edges:
-            if edge.kind is not EdgeKind.REGISTRATION:
-                continue
-            agent: Agent = dep.objects[edge.source]
-            manager: Manager = dep.objects[edge.target]
-            manager.register_agent(agent)
-            ad, _ = agent.make_startd_ad(now=0.0)
-            manager.receive_ad(ad, now=0.0)  # pool is warm at t=0
+        hawkeye_connect(plan, dep.objects, dep.extras)
 
     def expose(
         self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks

@@ -13,6 +13,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.core.components import Role, System
+from repro.core.kernels.build import mds_connect, mds_materialize
 from repro.core.runner import ScenarioRun
 from repro.core.services import service_factory
 from repro.core.topology.adapters import (
@@ -27,104 +28,28 @@ from repro.core.topology.plan import (
     AggregateSpec,
     CollectorSpec,
     DeploymentPlan,
-    DirectorySpec,
     EdgeKind,
-    NodeSpec,
     ServerSpec,
 )
 from repro.mds.giis import GIIS
-from repro.mds.gris import GRIS
-from repro.mds.providers import replicated_providers
 from repro.mds.resilience import RegistrarStats, soft_state_registrar
 
 __all__ = ["MdsAdapter"]
-
-
-def _make_puller(gris: GRIS) -> _t.Callable[[float], tuple[list, float]]:
-    def puller(now: float, gris: GRIS = gris) -> tuple[list, float]:
-        result = gris.search(now=now)
-        return result.entries, result.exec_cost
-
-    return puller
 
 
 @register_adapter
 class MdsAdapter(SystemAdapter):
     system = System.MDS
 
-    # -- phase 1: functional objects ----------------------------------------
+    # -- phases 1+2: runtime-free, shared with the live plane ----------------
 
     def materialize(self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment) -> None:
-        for spec in plan.nodes:
-            if isinstance(spec, ServerSpec):
-                self._materialize_gris(plan, dep, spec)
-            elif isinstance(spec, (AggregateSpec, DirectorySpec)):
-                if spec.variant == "fanout":
-                    continue  # pure service node, no resident GIIS state
-                dep.objects[spec.name] = GIIS(
-                    spec.options.get("giis_name", spec.name),
-                    cachettl=spec.options.get("cachettl", float("inf")),
-                )
-
-    def _collector_count(self, plan: DeploymentPlan, spec: NodeSpec) -> int:
-        for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
-            source = plan.node(edge.source)
-            assert isinstance(source, CollectorSpec)
-            return source.count
-        return 10
-
-    def _materialize_gris(
-        self, plan: DeploymentPlan, dep: Deployment, spec: ServerSpec
-    ) -> None:
-        count = self._collector_count(plan, spec)
-        ttl = float("inf") if spec.cached else 0.0
-        if spec.replicas == 1 and "hostname_format" not in spec.options:
-            hostname = spec.options.get("hostname", f"{spec.host}.mcs.anl.gov")
-            gris = GRIS(hostname, replicated_providers(count), cachettl=ttl, seed=spec.seed)
-            if spec.primed:
-                gris.search(now=0.0)  # prime the cache before measurement
-            dep.objects[spec.name] = gris
-            return
-        # A bank: "multiple instances at each Lucky node" (paper §3.6).
-        placements = self.bank_placements(spec)
-        name_format = spec.options.get("hostname_format", spec.name + "{i}")
-        bank: list[GRIS] = []
-        for i in range(spec.replicas):
-            node = placements[i % len(placements)] if placements else ""
-            hostname = name_format.format(node=node, i=i)
-            bank.append(
-                GRIS(hostname, replicated_providers(count), cachettl=ttl, seed=spec.seed + i)
-            )
-        dep.objects[spec.name] = bank
-
-    # -- phase 2: edges + priming -------------------------------------------
+        mds_materialize(plan, dep.objects, dep.extras)
 
     def connect(
         self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
     ) -> None:
-        for edge in plan.edges:
-            if edge.kind is not EdgeKind.REGISTRATION:
-                continue
-            giis: GIIS = dep.objects[edge.target]
-            pullers = dep.extras.setdefault(f"pullers:{edge.target}", {})
-            ttl = float(edge.options.get("ttl", 1e12))
-            source = dep.objects[edge.source]
-            if isinstance(source, list):
-                label_format = edge.options.get("label_format", edge.source + "{i}")
-                for i, gris in enumerate(source):
-                    label = label_format.format(i=i)
-                    puller = _make_puller(gris)
-                    pullers[label] = puller
-                    giis.register(label, puller, now=0.0, ttl=ttl)
-            else:
-                label = edge.options.get("label", edge.source)
-                puller = _make_puller(source)
-                pullers[label] = puller
-                giis.register(label, puller, now=0.0, ttl=ttl)
-        for spec in plan.nodes:
-            if isinstance(spec, (AggregateSpec, DirectorySpec)) and spec.primed:
-                # "cachettl ... set to a very large value ... always in cache"
-                dep.objects[spec.name].query(now=0.0)
+        mds_connect(plan, dep.objects, dep.extras)
 
     # -- phase 3: services ---------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.core.components import Role, System
+from repro.core.kernels.build import rgma_connect, rgma_materialize
 from repro.core.runner import ScenarioRun
 from repro.core.services import service_factory
 from repro.core.topology.adapters import (
@@ -27,9 +28,7 @@ from repro.core.topology.plan import (
     EdgeKind,
     ServerSpec,
 )
-from repro.rgma.producer import make_default_producers
 from repro.rgma.producer_servlet import ProducerServlet
-from repro.rgma.registry import Registry
 
 __all__ = ["RgmaAdapter"]
 
@@ -38,36 +37,15 @@ __all__ = ["RgmaAdapter"]
 class RgmaAdapter(SystemAdapter):
     system = System.RGMA
 
+    # -- phases 1+2: runtime-free, shared with the live plane ----------------
+
     def materialize(self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment) -> None:
-        for spec in plan.nodes:
-            if isinstance(spec, DirectorySpec):
-                dep.objects[spec.name] = Registry(spec.options.get("registry_name", spec.name))
-            elif isinstance(spec, ServerSpec) and spec.variant == "default":
-                servlet = ProducerServlet(spec.options.get("servlet_name", spec.name))
-                dep.objects[spec.name] = servlet
-                for edge in plan.edges_to(spec.name, EdgeKind.COLLECTION):
-                    collector = plan.node(edge.source)
-                    assert isinstance(collector, CollectorSpec)
-                    hostname = spec.options.get("producer_host", f"{spec.host}.mcs.anl.gov")
-                    dep.extras[f"producers:{spec.name}"] = make_default_producers(
-                        hostname, collector.count, seed=collector.seed
-                    )
+        rgma_materialize(plan, dep.objects, dep.extras)
 
     def connect(
         self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
     ) -> None:
-        for edge in plan.edges:
-            if edge.kind is not EdgeKind.REGISTRATION:
-                continue
-            servlet: ProducerServlet = dep.objects[edge.source]
-            registry: Registry = dep.objects[edge.target]
-            lease = float(edge.options.get("lease", 1e9))
-            for producer in dep.extras.get(f"producers:{edge.source}", ()):
-                servlet.attach(producer, registry, now=0.0, lease=lease)
-        for spec in plan.nodes:
-            if isinstance(spec, ServerSpec) and spec.variant == "default" and spec.primed:
-                # Initial measurement round so queries return rows.
-                dep.objects[spec.name].publish_all(now=0.0)
+        rgma_connect(plan, dep.objects, dep.extras)
 
     def expose(
         self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks

@@ -31,10 +31,12 @@ from repro.core.metrics import (
 )
 from repro.core.params import WorkloadParams
 from repro.errors import RequestTimeoutError, ServiceUnavailableError
-from repro.sim.engine import Simulator
-from repro.sim.host import Host
-from repro.sim.network import Network
-from repro.sim.rpc import RetryPolicy, Service, call
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.host import Host
+    from repro.sim.network import Network
+    from repro.sim.rpc import RetryPolicy, Service
 
 __all__ = ["spawn_users", "user_process", "THINK_PATTERNS", "make_think_sampler"]
 
@@ -120,6 +122,8 @@ def user_process(
     records then mean "gave up after retries" (or a fast-fail from an
     open circuit breaker).
     """
+    from repro.sim.rpc import call  # runtime-only: keeps the module sim-free at import
+
     think = make_think_sampler(wp, rng)
     # Desynchronize start times so users don't arrive in lockstep.
     yield sim.timeout(float(rng.uniform(0.0, wp.start_spread)))

@@ -15,12 +15,12 @@ from dataclasses import dataclass
 
 from repro.errors import RequestTimeoutError, ServiceUnavailableError
 from repro.hawkeye.agent import Agent
-from repro.sim.rpc import RetryPolicy, Service, call
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.sim.host import Host
     from repro.sim.network import Network
+    from repro.sim.rpc import RetryPolicy, Service
 
 __all__ = ["AdvertiserStats", "resilient_advertiser"]
 
@@ -57,6 +57,8 @@ def resilient_advertiser(
     ``hawkeye_advertise``, the next cycle sends a fresher ad instead, so
     an outage costs staleness rather than a backlog flood on restart.
     """
+    from repro.sim.rpc import call  # runtime-only: keeps the module sim-free at import
+
     st = stats if stats is not None else AdvertiserStats()
     while True:
         yield sim.timeout(interval)

@@ -1,0 +1,46 @@
+"""The live plane: deployment plans served over real sockets.
+
+The same :class:`~repro.core.topology.plan.DeploymentPlan` that drives
+the discrete-event twin compiles here onto an asyncio runtime — the
+shared service kernels (:mod:`repro.core.kernels`) run behind real TCP
+listeners speaking each system's wire dialect, and
+:mod:`repro.live.twin` compares the two runtimes' curves.
+
+This package must import cleanly without :mod:`repro.sim` (enforced by
+``tests/live/test_import_clean.py``); only the twin harness and the
+CLI touch the simulator, and they import it lazily.
+"""
+
+from repro.live.clients import ProtocolError, http_query, line_query
+from repro.live.loadgen import (
+    LiveLoadResult,
+    LiveSummary,
+    default_payload,
+    query_once,
+    reduce_log,
+    run_load,
+)
+from repro.live.runtime import (
+    AsyncioRuntime,
+    LiveClock,
+    LiveDeployment,
+    LiveLock,
+    LiveService,
+)
+
+__all__ = [
+    "AsyncioRuntime",
+    "LiveClock",
+    "LiveDeployment",
+    "LiveLock",
+    "LiveService",
+    "LiveLoadResult",
+    "LiveSummary",
+    "ProtocolError",
+    "default_payload",
+    "http_query",
+    "line_query",
+    "query_once",
+    "reduce_log",
+    "run_load",
+]

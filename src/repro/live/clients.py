@@ -1,0 +1,123 @@
+"""Stdlib asyncio clients for the live plane's three wire dialects.
+
+One connection per request, mirroring the study's harness (connection
+cost is part of the model).  Both helpers return ``(value, body)`` —
+the structured answer the service computed plus the serialized wire
+body (LDIF / ClassAd text / encoded SQL result).  Refusals raise
+:class:`~repro.errors.ServiceUnavailableError` so load generators can
+count them the same way the DES workload does; any other malformed
+exchange raises :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import typing as _t
+
+from repro.errors import ReproError, ServiceUnavailableError
+
+__all__ = ["ProtocolError", "line_query", "http_query"]
+
+
+class ProtocolError(ReproError):
+    """The server's reply did not parse as the expected dialect."""
+
+
+async def line_query(
+    host: str,
+    port: int,
+    payload: _t.Any,
+    *,
+    verb: str = "SEARCH",
+    timeout: float | None = None,
+) -> tuple[_t.Any, str]:
+    """One exchange against an MDS/Hawkeye line-framed listener."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        request = f"{verb} {json.dumps(payload, separators=(',', ':'))}\n".encode()
+        writer.write(request)
+        await writer.drain()
+        header = await asyncio.wait_for(reader.readline(), timeout)
+        if not header:
+            raise ProtocolError("connection closed before a response")
+        text = header.decode("utf-8", "replace").rstrip("\n")
+        if text.startswith("ERR "):
+            _err, _, detail = text.partition(" ")
+            kind, _, message = detail.partition(" ")
+            if kind in ("refused", "crashed"):
+                raise ServiceUnavailableError(message or kind)
+            raise ProtocolError(f"{kind}: {message}")
+        if not text.startswith("OK "):
+            raise ProtocolError(f"unexpected response line {text!r}")
+        try:
+            head, _, nbytes = text.rpartition(" ")
+            value = json.loads(head[3:])  # strip the "OK " prefix
+            body = await asyncio.wait_for(reader.readexactly(int(nbytes)), timeout)
+        except (ValueError, asyncio.IncompleteReadError) as exc:
+            raise ProtocolError(f"bad OK frame: {exc}") from exc
+        return value, body.decode()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def http_query(
+    host: str,
+    port: int,
+    payload: _t.Any,
+    *,
+    path: str = "/query",
+    timeout: float | None = None,
+) -> tuple[_t.Any, str]:
+    """One HTTP POST against an R-GMA servlet listener."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        writer.write(
+            (
+                f"POST {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ProtocolError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        value: _t.Any = None
+        content_length = 0
+        while True:
+            header = await asyncio.wait_for(reader.readline(), timeout)
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, header_value = header.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                content_length = int(header_value)
+            elif name == "x-repro-value":
+                value = json.loads(header_value.strip())
+        response_body = (
+            await asyncio.wait_for(reader.readexactly(content_length), timeout)
+            if content_length
+            else b""
+        )
+        if status == 503:
+            raise ServiceUnavailableError(response_body.decode().strip() or "refused")
+        if status != 200:
+            raise ProtocolError(f"HTTP {status}: {response_body.decode().strip()}")
+        return value, response_body.decode()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,192 @@
+"""Closed-loop load generation against a live deployment.
+
+The same user model as the DES workload (:mod:`repro.core.workload`):
+each user issues a blocking request, records the outcome, thinks for a
+sampled wait (the paper's 1-second pattern by default, or any of
+``THINK_PATTERNS``), and repeats.  Outcomes land in the same
+:class:`~repro.core.metrics.RequestLog` with the same outcome labels,
+timestamped in *model seconds* from the deployment clock — so a live
+window reduces with the same arithmetic as a DES window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.components import System
+from repro.core.metrics import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_REFUSED,
+    OUTCOME_TIMEOUT,
+    RequestLog,
+)
+from repro.core.params import WorkloadParams
+from repro.core.workload import make_think_sampler
+from repro.errors import ServiceUnavailableError
+from repro.live.clients import ProtocolError, http_query, line_query
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.live.runtime import LiveDeployment
+
+__all__ = [
+    "LiveLoadResult",
+    "LiveSummary",
+    "default_payload",
+    "query_once",
+    "run_load",
+    "reduce_log",
+]
+
+
+@dataclass
+class LiveLoadResult:
+    """What a load run observed, in model seconds."""
+
+    log: RequestLog
+    started: float  # model time the load began
+    finished: float  # model time the load stopped
+    protocol_errors: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+
+@dataclass(frozen=True)
+class LiveSummary:
+    """The live analogue of a DES window reduction."""
+
+    throughput: float
+    response_time: float
+    completed: int
+    refused: int
+    timeouts: int
+    errors: int
+    window: float
+
+
+def default_payload(system: System) -> dict[str, _t.Any]:
+    """The per-system query the paper's harness issued."""
+    if system is System.MDS:
+        return {"filter": "(objectclass=*)"}
+    if system is System.HAWKEYE:
+        return {"query": "status"}
+    return {"sql": "SELECT * FROM cpuLoad"}
+
+
+async def query_once(
+    dep: "LiveDeployment",
+    name: str | None = None,
+    payload: _t.Any = None,
+    *,
+    timeout: float | None = None,
+) -> tuple[_t.Any, str]:
+    """One client exchange against a deployment's service (entry by default)."""
+    name = dep.entry if name is None else name
+    assert name is not None
+    port = dep.ports[name]
+    if payload is None:
+        payload = default_payload(dep.plan.system)
+    if dep.plan.system is System.RGMA:
+        return await http_query(dep.host, port, payload, timeout=timeout)
+    verb = "SEARCH" if dep.plan.system is System.MDS else "QUERY"
+    return await line_query(dep.host, port, payload, verb=verb, timeout=timeout)
+
+
+async def run_load(
+    dep: "LiveDeployment",
+    *,
+    users: int,
+    duration: float,
+    wp: WorkloadParams | None = None,
+    seed: int = 1,
+    payload: _t.Any = None,
+    target: str | None = None,
+) -> LiveLoadResult:
+    """Drive ``users`` closed loops for ``duration`` model seconds.
+
+    ``target`` names the service to hit (the plan entry by default).
+    Start times are de-phased over ``wp.start_spread`` exactly like the
+    DES workload, so the two runtimes ramp comparably.
+    """
+    wp = wp or WorkloadParams()
+    clock = dep.clock
+    log = RequestLog()
+    protocol_errors = [0]
+    started = clock.now()
+    deadline = started + duration
+
+    async def user(uid: int) -> None:
+        rng = np.random.default_rng((seed, uid))
+        think = make_think_sampler(wp, rng)
+        await clock.sleep(float(rng.uniform(0.0, min(wp.start_spread, duration / 2))))
+        while clock.now() < deadline:
+            t0 = clock.now()
+            try:
+                await asyncio.wait_for(
+                    query_once(dep, target, payload),
+                    None
+                    if wp.request_timeout is None
+                    else clock.wall(wp.request_timeout),
+                )
+                log.add(uid, t0, clock.now(), OUTCOME_OK)
+            except ServiceUnavailableError:
+                log.add(uid, t0, clock.now(), OUTCOME_REFUSED)
+                await clock.sleep(wp.retry_wait)
+                continue
+            except asyncio.TimeoutError:
+                log.add(uid, t0, clock.now(), OUTCOME_TIMEOUT)
+            except ProtocolError:
+                protocol_errors[0] += 1
+                log.add(uid, t0, clock.now(), OUTCOME_ERROR)
+            except (ConnectionError, OSError):
+                log.add(uid, t0, clock.now(), OUTCOME_ERROR)
+            await clock.sleep(think())
+
+    tasks = [asyncio.ensure_future(user(uid)) for uid in range(users)]
+    try:
+        await asyncio.wait_for(
+            asyncio.gather(*tasks), clock.wall(duration) + 30.0
+        )
+    except asyncio.TimeoutError:  # pragma: no cover - stuck-request backstop
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+    return LiveLoadResult(
+        log=log,
+        started=started,
+        finished=clock.now(),
+        protocol_errors=protocol_errors[0],
+    )
+
+
+def reduce_log(
+    result: LiveLoadResult, *, warmup_fraction: float = 0.25
+) -> LiveSummary:
+    """Reduce a load run to the paper's client-side metrics.
+
+    The first ``warmup_fraction`` of the run is dropped (ramp-in), the
+    remainder is the measurement window — the live analogue of the DES
+    warm-up/window split.
+    """
+    start = result.started + warmup_fraction * result.duration
+    end = result.finished
+    window = max(end - start, 1e-9)
+    records = result.log.in_window(start, end)
+    successes = [r for r in records if r.outcome == OUTCOME_OK]
+    return LiveSummary(
+        throughput=len(successes) / window,
+        response_time=(
+            sum(r.duration for r in successes) / len(successes) if successes else 0.0
+        ),
+        completed=len(successes),
+        refused=sum(1 for r in records if r.outcome == OUTCOME_REFUSED),
+        timeouts=sum(1 for r in records if r.outcome == OUTCOME_TIMEOUT),
+        errors=sum(1 for r in records if r.outcome == OUTCOME_ERROR),
+        window=window,
+    )

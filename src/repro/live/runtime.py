@@ -1,0 +1,611 @@
+"""The asyncio runtime: the same kernels as real concurrent services.
+
+The DES interprets kernel ops as simulator events
+(:mod:`repro.core.desruntime`); this module interprets the *same* ops as
+asyncio primitives — ``Compute``/``Busy``/``Held`` become real sleeps
+(scaled by ``time_scale``), locks become :class:`LiveLock` wrappers
+around :class:`asyncio.Lock`, and ``Call``/``Fanout`` become awaited
+requests on co-hosted :class:`LiveService` instances.
+
+Time runs in *model seconds*: :class:`LiveClock` reads
+``(monotonic - epoch) / time_scale``, and every modeled duration sleeps
+``duration * time_scale`` wall seconds.  With ``time_scale=1.0`` the
+live plane runs in real time; smaller values compress the model clock
+so a 60-model-second window fits a short CI job.  Domain state (cache
+TTLs, leases, ad staleness) sees only model seconds, so both runtimes
+age the same objects at the same model rate.
+
+This module must import cleanly with :mod:`repro.sim` absent
+(``tests/live/test_import_clean.py`` enforces it) — the DES twin
+harness (:mod:`repro.live.twin`) imports the simulator lazily.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import typing as _t
+
+import numpy as np
+
+from repro.core.components import System
+from repro.core.kernels import (
+    AgentKernel,
+    GiisAggregateKernel,
+    GiisDirectoryKernel,
+    GiisFanoutKernel,
+    GiisLeafKernel,
+    GrisKernel,
+    KernelResponse,
+    KernelSpec,
+    ManagerAggregateKernel,
+    ManagerDirectoryKernel,
+    ManagerFanoutKernel,
+    ManagerIngestKernel,
+    ProducerServletKernel,
+    RegistryKernel,
+    ConsumerServletKernel,
+    connect_plan,
+    materialize_plan,
+)
+from repro.core.kernels.ops import (
+    OP_ACQUIRE,
+    OP_BUSY,
+    OP_CALL,
+    OP_CLOCK,
+    OP_COMPUTE,
+    OP_CRASH,
+    OP_FANOUT,
+    OP_HELD,
+    OP_QUEUE_DEPTH,
+    OP_RELEASE,
+)
+from repro.core.params import StudyParams, default_params
+from repro.core.topology.plan import (
+    AggregateSpec,
+    CollectorSpec,
+    DeploymentPlan,
+    DirectorySpec,
+    EdgeKind,
+    PlanError,
+    ServerSpec,
+)
+from repro.errors import ServiceCrashError, ServiceUnavailableError
+
+__all__ = [
+    "LiveClock",
+    "LiveLock",
+    "LiveService",
+    "LiveDeployment",
+    "AsyncioRuntime",
+]
+
+
+class LiveClock:
+    """Model time for the live plane: wall seconds over ``time_scale``."""
+
+    def __init__(self, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.time_scale = time_scale
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        """Current model time in seconds since the runtime started."""
+        return (time.monotonic() - self._epoch) / self.time_scale
+
+    def wall(self, model_seconds: float) -> float:
+        """Wall-clock seconds corresponding to ``model_seconds``."""
+        return model_seconds * self.time_scale
+
+    async def sleep(self, model_seconds: float) -> None:
+        if model_seconds > 0:
+            await asyncio.sleep(model_seconds * self.time_scale)
+
+
+class LiveLock:
+    """The live plane's opaque lock token: asyncio.Lock + queue depth.
+
+    Mirrors the two properties kernels rely on from the DES Mutex: FIFO
+    mutual exclusion and a readable ``queue_length`` (how many requests
+    are waiting — the convoy terms feed on it).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = asyncio.Lock()
+        self._waiters = 0
+
+    @property
+    def queue_length(self) -> int:
+        return self._waiters
+
+    async def acquire(self) -> None:
+        self._waiters += 1
+        try:
+            await self._lock.acquire()
+        finally:
+            self._waiters -= 1
+
+    def release(self) -> None:
+        self._lock.release()
+
+
+class LiveService:
+    """One kernel hosted as an in-process async service.
+
+    Emulates the DES Service's admission control exactly: at most
+    ``max_threads`` requests run concurrently, up to ``backlog`` more
+    wait for a thread, and past that the request is *refused*
+    (:class:`ServiceUnavailableError` — a RST on the wire).  Connection
+    overhead, when the kernel models it, is charged at admission from
+    the concurrency the request observes.
+    """
+
+    def __init__(self, spec: KernelSpec, clock: LiveClock) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.clock = clock
+        self._slots = asyncio.Semaphore(spec.max_threads)
+        self._active = 0
+        self._queued = 0
+        self.crashed = False
+        self.crash_reason: str | None = None
+        self.requests = 0
+        self.refusals = 0
+
+    async def request(self, payload: _t.Any) -> KernelResponse:
+        """Admit and serve one request; returns the full KernelResponse."""
+        self.requests += 1
+        if self.crashed:
+            self.refusals += 1
+            raise ServiceUnavailableError(f"service {self.name} is down")
+        spec = self.spec
+        if self._active + self._queued >= spec.max_threads + spec.backlog:
+            self.refusals += 1
+            raise ServiceUnavailableError(
+                f"service {self.name} refused connection (accept queue full)"
+            )
+        if spec.conn_overhead is not None:
+            await self.clock.sleep(
+                spec.conn_overhead.latency(self._active + self._queued)
+            )
+        self._queued += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self._queued -= 1
+        self._active += 1
+        try:
+            return await self._drive(payload)
+        finally:
+            self._active -= 1
+            self._slots.release()
+
+    async def _drive(self, payload: _t.Any) -> KernelResponse:
+        """Interpret the kernel's op stream on asyncio (see desruntime)."""
+        gen = self.spec.handle(payload)
+        try:
+            op = gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            value: _t.Any = None
+            try:
+                tag = op.tag
+                if tag == OP_COMPUTE:
+                    await self.clock.sleep(op.seconds)
+                elif tag == OP_CLOCK:
+                    value = self.clock.now()
+                elif tag == OP_HELD:
+                    await op.lock.acquire()
+                    try:
+                        await self.clock.sleep(op.hold)
+                    finally:
+                        op.lock.release()
+                elif tag == OP_QUEUE_DEPTH:
+                    value = op.lock.queue_length
+                elif tag == OP_ACQUIRE:
+                    await op.lock.acquire()
+                elif tag == OP_RELEASE:
+                    op.lock.release()
+                elif tag == OP_BUSY:
+                    await self.clock.sleep(op.hold)
+                elif tag == OP_CALL:
+                    value = (await op.target.request(op.payload)).value
+                elif tag == OP_FANOUT:
+                    answers = await asyncio.gather(
+                        *(target.request(op.payload) for target in op.targets),
+                        return_exceptions=True,
+                    )
+                    value = [
+                        (False, a)
+                        if isinstance(a, BaseException)
+                        else (True, a.value)
+                        for a in answers
+                    ]
+                elif tag == OP_CRASH:
+                    self.crashed = True
+                    self.crash_reason = op.reason
+                    raise ServiceCrashError(op.message)
+                else:  # pragma: no cover - kernels only yield known ops
+                    raise TypeError(f"unknown kernel op {op!r}")
+            except BaseException as exc:
+                # Run the kernel's finallys (they may hand back a Release,
+                # which the next loop iteration executes synchronously).
+                try:
+                    op = gen.throw(exc)
+                except StopIteration as stop:
+                    return stop.value
+                continue
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+
+
+class LiveDeployment:
+    """A compiled plan's live services, listeners and background tasks.
+
+    ``services`` maps node names (plus ``"<node>:ingest"`` side doors)
+    to :class:`LiveService`; after :meth:`start`, ``ports`` maps every
+    listening service to its bound TCP port (port 0 at bind time — the
+    OS picks, the handle reports).  :meth:`stop` cancels background
+    tasks and closes listeners; start/stop may be repeated.
+    """
+
+    def __init__(
+        self,
+        plan: DeploymentPlan,
+        objects: dict[str, _t.Any],
+        extras: dict[str, _t.Any],
+        services: dict[str, LiveService],
+        clock: LiveClock,
+        *,
+        entry: str | None,
+        host: str = "127.0.0.1",
+        skipped: tuple[str, ...] = (),
+    ) -> None:
+        self.plan = plan
+        self.objects = objects
+        self.extras = extras
+        self.services = services
+        self.clock = clock
+        self.entry = entry
+        self.host = host
+        self.skipped = skipped
+        self.ports: dict[str, int] = {}
+        self._servers: list[asyncio.base_events.Server] = []
+        self._tasks: list[asyncio.Task] = []
+        self.running = False
+
+    @property
+    def entry_service(self) -> LiveService:
+        if self.entry is None:
+            raise PlanError(f"plan {self.plan.name!r} has no entry node")
+        return self.services[self.entry]
+
+    async def start(self) -> "LiveDeployment":
+        """Bind one listener per exposed service and spawn feeders."""
+        if self.running:
+            raise RuntimeError(f"deployment {self.plan.name!r} already running")
+        from repro.live.protocols import server_for  # cycle-free at runtime
+
+        for name, service in self.services.items():
+            server = await server_for(self.plan.system, service, self.host)
+            self._servers.append(server)
+            self.ports[name] = server.sockets[0].getsockname()[1]
+        for factory in self._background_factories():
+            self._tasks.append(asyncio.ensure_future(factory()))
+        self.running = True
+        return self
+
+    async def stop(self) -> None:
+        """Cancel feeders, close listeners, leave the deployment reusable."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        self.ports.clear()
+        self.running = False
+
+    async def __aenter__(self) -> "LiveDeployment":
+        return await self.start()
+
+    async def __aexit__(self, *exc: _t.Any) -> None:
+        await self.stop()
+
+    # -- background data planes (the live analogue of phase 4) --------------
+
+    def _background_factories(self) -> list[_t.Callable[[], _t.Coroutine]]:
+        out: list[_t.Callable[[], _t.Coroutine]] = []
+        plan, clock = self.plan, self.clock
+        if plan.system is System.RGMA:
+            for spec in plan.nodes:
+                if (
+                    isinstance(spec, ServerSpec)
+                    and spec.variant == "default"
+                    and spec.options.get("publisher")
+                ):
+                    servlet = self.objects[spec.name]
+                    interval = float(spec.options.get("publish_interval", 30.0))
+
+                    async def publisher(servlet=servlet, interval=interval) -> None:
+                        while True:
+                            await clock.sleep(interval)
+                            servlet.publish_all(now=clock.now())
+
+                    out.append(publisher)
+        if plan.system is System.HAWKEYE:
+            for edge in plan.edges:
+                mode = edge.options.get("mode")
+                if edge.kind is EdgeKind.REGISTRATION and mode == "local":
+                    agent = self.objects[edge.source]
+                    manager = self.objects[edge.target]
+                    interval = float(edge.options.get("interval", 30.0))
+
+                    async def advertiser(
+                        agent=agent, manager=manager, interval=interval
+                    ) -> None:
+                        while True:
+                            await clock.sleep(interval)
+                            ad, _answer = agent.make_startd_ad(now=clock.now())
+                            manager.receive_ad(ad, clock.now())
+
+                    out.append(advertiser)
+                elif edge.kind is EdgeKind.AGGREGATION and mode == "wire":
+                    out.extend(self._wire_advertisers(edge))
+        return out
+
+    def _wire_advertisers(self, edge: _t.Any) -> list[_t.Callable[[], _t.Coroutine]]:
+        """Synthetic machine banks pushing ads through the ingest port."""
+        from repro.hawkeye.advertise import synthesize_startd_ad
+
+        source = self.plan.node(edge.source)
+        ingest = self.services[f"{edge.target}:ingest"]
+        machine_format = source.options.get("machine_format", source.name + "{i}")
+        interval = float(edge.options.get("interval", 30.0))
+        clock = self.clock
+        offsets = np.random.default_rng(source.seed or 1).uniform(
+            0.0, interval, size=source.replicas
+        )
+
+        def make(machine: str, offset: float) -> _t.Callable[[], _t.Coroutine]:
+            async def advertiser() -> None:
+                rng = np.random.default_rng(abs(hash(machine)) % (2**32))
+                ad = synthesize_startd_ad(machine, rng, now=0.0)
+                self.objects[edge.target].receive_ad(ad, now=0.0)  # warm pool
+                await clock.sleep(offset)
+                while True:
+                    ad = synthesize_startd_ad(machine, rng, now=clock.now())
+                    try:
+                        await ingest.request({"ad": ad})
+                    except Exception:
+                        pass  # a dropped ad is just a missed update
+                    await clock.sleep(interval)
+
+            return advertiser
+
+        return [
+            make(machine_format.format(i=i), float(offsets[i]))
+            for i in range(source.replicas)
+        ]
+
+
+class AsyncioRuntime:
+    """Compile a :class:`DeploymentPlan` to live asyncio services.
+
+    The materialize/connect phases are *shared* with the DES
+    (:mod:`repro.core.kernels.build`), so both runtimes serve the same
+    domain objects; only the expose phase differs — kernels get
+    :class:`LiveLock` tokens and ``wire=True`` (real bytes go on real
+    sockets).
+
+    DES-only control planes (soft-state registrars, resilient
+    advertisers) are skipped and reported on ``deployment.skipped`` —
+    they model client-side behavior the live load generator owns.
+    """
+
+    def __init__(
+        self,
+        params: StudyParams | None = None,
+        *,
+        time_scale: float = 1.0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.params = params or default_params()
+        self.time_scale = time_scale
+        self.host = host
+
+    def compile(self, plan: DeploymentPlan) -> LiveDeployment:
+        objects: dict[str, _t.Any] = {}
+        extras: dict[str, _t.Any] = {}
+        materialize_plan(plan, objects, extras)
+        connect_plan(plan, objects, extras)
+        clock = LiveClock(self.time_scale)
+        builder = _KERNEL_BUILDERS[plan.system]
+        services: dict[str, LiveService] = {}
+        skipped: list[str] = []
+        # Pass 1: self-contained nodes; pass 2: nodes calling other
+        # services (mediators, fanout interiors) resolve pass-1 targets.
+        deferred: list[_t.Any] = []
+        for spec in plan.nodes:
+            if not spec.expose or isinstance(spec, CollectorSpec):
+                continue
+            if _depends_on_services(spec):
+                deferred.append(spec)
+                continue
+            for name, kernel in builder(self, plan, spec, objects, extras, skipped):
+                services[name] = LiveService(kernel.spec(), clock)
+        for spec in deferred:
+            for name, kernel in builder(
+                self, plan, spec, objects, extras, skipped, services=services
+            ):
+                services[name] = LiveService(kernel.spec(), clock)
+        for edge in plan.edges:
+            if edge.options.get("soft_state"):
+                skipped.append(f"soft-state registrar {edge.source}->{edge.target}")
+            if edge.options.get("mode") == "resilient":
+                skipped.append(f"resilient advertiser {edge.source}->{edge.target}")
+        return LiveDeployment(
+            plan,
+            objects,
+            extras,
+            services,
+            clock,
+            entry=plan.entry,
+            host=self.host,
+            skipped=tuple(skipped),
+        )
+
+    # -- per-system kernel builders (the live expose phase) ------------------
+
+    def _mds_kernels(
+        self,
+        plan: DeploymentPlan,
+        spec: _t.Any,
+        objects: dict[str, _t.Any],
+        extras: dict[str, _t.Any],
+        skipped: list[str],
+        services: dict[str, LiveService] | None = None,
+    ) -> list[tuple[str, _t.Any]]:
+        p = self.params.giis
+        if isinstance(spec, ServerSpec):
+            gris = objects[spec.name]
+            kernel = GrisKernel(
+                gris,
+                self.params.gris,
+                providers_lock=LiveLock(f"gris:{gris.hostname}:providers"),
+                wire=True,
+            )
+            return [(spec.name, kernel)]
+        if isinstance(spec, AggregateSpec) and spec.variant == "fanout":
+            assert services is not None
+            children = [
+                services[e.source]
+                for e in plan.edges_to(spec.name, EdgeKind.AGGREGATION)
+            ]
+            label = spec.options.get("label", f"giis:{spec.name}")
+            return [
+                (spec.name, GiisFanoutKernel(children, p, label=label,
+                                             top=spec.name == plan.entry))
+            ]
+        giis = objects[spec.name]
+        if isinstance(spec, AggregateSpec) and spec.variant == "leaf":
+            return [(spec.name, GiisLeafKernel(giis, p, wire=True))]
+        if isinstance(spec, AggregateSpec):
+            kernel = GiisAggregateKernel(
+                giis,
+                p,
+                assembly_lock=LiveLock(f"giis:{giis.name}:assembly"),
+                query_part=spec.query_part,
+                wire=True,
+            )
+            return [(spec.name, kernel)]
+        return [(spec.name, GiisDirectoryKernel(giis, p, wire=True))]
+
+    def _rgma_kernels(
+        self,
+        plan: DeploymentPlan,
+        spec: _t.Any,
+        objects: dict[str, _t.Any],
+        extras: dict[str, _t.Any],
+        skipped: list[str],
+        services: dict[str, LiveService] | None = None,
+    ) -> list[tuple[str, _t.Any]]:
+        p = self.params
+        if isinstance(spec, DirectorySpec):
+            return [(spec.name, RegistryKernel(objects[spec.name], p.registry))]
+        if isinstance(spec, ServerSpec) and spec.variant == "mediator":
+            assert services is not None
+            upstream = services[plan.edges_from(spec.name, EdgeKind.MEDIATION)[0].target]
+            name = spec.options.get("cs_name", spec.name)
+            kernel = ConsumerServletKernel(
+                name,
+                upstream,
+                p.consumer_servlet,
+                mediation_lock=LiveLock(f"cs:{name}:mediation"),
+            )
+            return [(spec.name, kernel)]
+        kernel = ProducerServletKernel(
+            objects[spec.name],
+            p.producer_servlet,
+            db_lock=LiveLock(f"ps:{objects[spec.name].name}:db"),
+            wire=True,
+        )
+        return [(spec.name, kernel)]
+
+    def _hawkeye_kernels(
+        self,
+        plan: DeploymentPlan,
+        spec: _t.Any,
+        objects: dict[str, _t.Any],
+        extras: dict[str, _t.Any],
+        skipped: list[str],
+        services: dict[str, LiveService] | None = None,
+    ) -> list[tuple[str, _t.Any]]:
+        p = self.params.manager
+        if isinstance(spec, ServerSpec):
+            agent = objects[spec.name]
+            kernel = AgentKernel(
+                agent,
+                self.params.agent,
+                startd_lock=LiveLock(f"agent:{agent.machine}:startd"),
+                wire=True,
+            )
+            return [(spec.name, kernel)]
+        if isinstance(spec, AggregateSpec) and spec.variant == "fanout":
+            assert services is not None
+            children = [
+                services[e.source]
+                for e in plan.edges_to(spec.name, EdgeKind.AGGREGATION)
+            ]
+            label = spec.options.get("label", f"manager:{spec.name}")
+            return [
+                (spec.name, ManagerFanoutKernel(children, p, label=label,
+                                                top=spec.name == plan.entry))
+            ]
+        manager = objects[spec.name]
+        lock = LiveLock(f"manager:{manager.name}:collector")
+        out: list[tuple[str, _t.Any]] = []
+        if isinstance(spec, AggregateSpec):
+            out.append(
+                (spec.name, ManagerAggregateKernel(manager, p, collector_lock=lock))
+            )
+        else:
+            out.append((spec.name, ManagerDirectoryKernel(manager, p, wire=True)))
+        needs_ingest = any(
+            e.kind in (EdgeKind.REGISTRATION, EdgeKind.AGGREGATION)
+            and e.options.get("mode") in ("wire", "resilient")
+            for e in plan.edges_to(spec.name)
+        )
+        if needs_ingest:
+            out.append(
+                (
+                    f"{spec.name}:ingest",
+                    ManagerIngestKernel(manager, p, collector_lock=lock),
+                )
+            )
+        return out
+
+
+def _depends_on_services(spec: _t.Any) -> bool:
+    """Does this node's kernel call other live services?"""
+    if isinstance(spec, AggregateSpec) and spec.variant == "fanout":
+        return True
+    return isinstance(spec, ServerSpec) and spec.variant == "mediator"
+
+
+_KERNEL_BUILDERS = {
+    System.MDS: AsyncioRuntime._mds_kernels,
+    System.RGMA: AsyncioRuntime._rgma_kernels,
+    System.HAWKEYE: AsyncioRuntime._hawkeye_kernels,
+}

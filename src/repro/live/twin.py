@@ -1,0 +1,229 @@
+"""The twin harness: one plan, both runtimes, compared.
+
+``repro-serve twin`` runs the same :class:`DeploymentPlan` through the
+DES (the calibrated model behind every figure) and through the live
+asyncio plane (real sockets, real sleeps), then compares the
+client-side curves.  Agreement within tolerance is the cross-check that
+the kernel extraction really did produce *one* service logic: the two
+runtimes share the kernels and the materialize/connect phases, so a
+divergence means a runtime adapter broke, not the model.
+
+Expected, documented sources of residual delta (docs/LIVEPLANE.md):
+
+* the DES charges simulated network latency between testbed hosts; the
+  live plane runs over localhost (~0 RTT);
+* live sleeps carry event-loop scheduling jitter, amplified at small
+  ``time_scale``;
+* the live warm-up is a fixed fraction of a (much shorter) run.
+
+The DES side imports :mod:`repro.sim` lazily so that importing
+:mod:`repro.live` never drags the simulator in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.core.components import System
+from repro.core.params import StudyParams, WorkloadParams
+from repro.core.topology.plan import DeploymentPlan, DirectorySpec
+from repro.live.loadgen import (
+    LiveSummary,
+    default_payload,
+    reduce_log,
+    run_load,
+)
+from repro.live.runtime import AsyncioRuntime
+
+__all__ = ["TwinReport", "des_point", "live_point", "run_twin", "format_report"]
+
+#: Default relative tolerance for throughput/response agreement.  Wide
+#: enough to absorb the documented localhost-vs-WAN and jitter deltas,
+#: tight enough to catch a broken adapter (those diverge by integers,
+#: not percentages).
+DEFAULT_TOLERANCE = 0.35
+
+
+@dataclass(frozen=True)
+class TwinReport:
+    """Both runtimes' client-side view of one plan, and the verdict."""
+
+    plan: str
+    users: int
+    des_throughput: float
+    des_response: float
+    des_completed: int
+    live: LiveSummary
+    protocol_errors: int
+    tolerance: float
+
+    @property
+    def throughput_delta(self) -> float:
+        """Relative throughput disagreement (live vs DES)."""
+        if self.des_throughput == 0:
+            return 0.0 if self.live.throughput == 0 else float("inf")
+        return abs(self.live.throughput - self.des_throughput) / self.des_throughput
+
+    @property
+    def response_delta(self) -> float:
+        """Absolute response-time disagreement in model seconds."""
+        return abs(self.live.response_time - self.des_response)
+
+    @property
+    def ok(self) -> bool:
+        """Within tolerance and protocol-clean?
+
+        Throughput must agree relatively; response time must agree
+        either relatively or within 150 ms absolute (sub-second DES
+        responses meet localhost scheduling noise).
+        """
+        if self.protocol_errors:
+            return False
+        if self.throughput_delta > self.tolerance:
+            return False
+        relative_ok = (
+            self.des_response > 0
+            and abs(self.live.response_time - self.des_response) / self.des_response
+            <= self.tolerance
+        )
+        return relative_ok or self.response_delta <= 0.15
+
+
+def _request_size(plan: DeploymentPlan, params: StudyParams) -> int:
+    entry = plan.node(plan.entry) if plan.entry else None
+    if plan.system is System.MDS:
+        return params.gris.request_size
+    if plan.system is System.HAWKEYE:
+        return params.agent.request_size
+    if isinstance(entry, DirectorySpec):
+        return params.registry.request_size
+    return params.consumer_servlet.request_size
+
+
+def des_point(
+    plan: DeploymentPlan,
+    users: int,
+    *,
+    params: StudyParams | None = None,
+    warmup: float = 5.0,
+    window: float = 20.0,
+    seed: int = 1,
+    wp: WorkloadParams | None = None,
+) -> tuple[float, float, int]:
+    """Drive the plan under the DES; returns (throughput, response, completed).
+
+    Clients sit on the server's LAN (Lucky nodes), not at UC — the live
+    plane's clients are localhost, so the comparable DES point must not
+    carry the modeled WAN round trip.
+    """
+    from repro.core.experiments.common import lucky_clients
+    from repro.core.runner import drive, new_run
+    from repro.core.topology import compile_plan
+
+    run = new_run(seed, params)
+    dep = compile_plan(plan, run)
+    payload = default_payload(plan.system)
+    entry_spec = plan.node(plan.entry) if plan.entry else None
+    server_node = (entry_spec.host or "lucky0") if entry_spec else "lucky0"
+    result = drive(
+        run,
+        system=plan.name,
+        x=users,
+        service=dep.entry,
+        clients=lucky_clients(run, users, exclude=(server_node,)),
+        server_host=run.testbed.lucky.get(
+            server_node, next(iter(run.testbed.lucky.values()))
+        ),
+        payload_fn=lambda uid: payload,
+        request_size=_request_size(plan, run.params),
+        workload=wp,
+        warmup=warmup,
+        window=window,
+    )
+    return result.throughput, result.response_time, result.summary.completed
+
+
+async def live_point(
+    plan: DeploymentPlan,
+    users: int,
+    *,
+    params: StudyParams | None = None,
+    duration: float = 20.0,
+    time_scale: float = 1.0,
+    seed: int = 1,
+    wp: WorkloadParams | None = None,
+) -> tuple[LiveSummary, int]:
+    """Drive the plan on the live plane; returns (summary, protocol_errors)."""
+    runtime = AsyncioRuntime(params, time_scale=time_scale)
+    dep = runtime.compile(plan)
+    async with dep:
+        result = await run_load(
+            dep, users=users, duration=duration, wp=wp, seed=seed
+        )
+    return reduce_log(result), result.protocol_errors
+
+
+def run_twin(
+    plan: DeploymentPlan,
+    users: int = 5,
+    *,
+    params: StudyParams | None = None,
+    warmup: float = 5.0,
+    window: float = 20.0,
+    duration: float | None = None,
+    time_scale: float = 1.0,
+    tolerance: float = DEFAULT_TOLERANCE,
+    seed: int = 1,
+    wp: WorkloadParams | None = None,
+) -> TwinReport:
+    """Run both runtimes over ``plan`` and compare the curves.
+
+    DES measures ``window`` model seconds after ``warmup``; the live
+    side runs ``duration`` model seconds (default: warmup + window) and
+    drops its own ramp-in.  ``time_scale`` compresses live wall time.
+    ``wp`` feeds both user models — on short runs pass a
+    ``start_spread`` well under the warm-up so the two planes finish
+    ramping before either starts measuring.
+    """
+    des_tp, des_rt, des_done = des_point(
+        plan, users, params=params, warmup=warmup, window=window, seed=seed, wp=wp
+    )
+    live_summary, protocol_errors = asyncio.run(
+        live_point(
+            plan,
+            users,
+            params=params,
+            duration=duration if duration is not None else warmup + window,
+            time_scale=time_scale,
+            seed=seed,
+            wp=wp,
+        )
+    )
+    return TwinReport(
+        plan=plan.name,
+        users=users,
+        des_throughput=des_tp,
+        des_response=des_rt,
+        des_completed=des_done,
+        live=live_summary,
+        protocol_errors=protocol_errors,
+        tolerance=tolerance,
+    )
+
+
+def format_report(report: TwinReport) -> str:
+    """Human-readable twin comparison."""
+    lines = [
+        f"twin comparison: {report.plan} ({report.users} users)",
+        f"  {'metric':<18}{'DES':>12}{'live':>12}{'delta':>10}",
+        f"  {'throughput q/s':<18}{report.des_throughput:>12.3f}"
+        f"{report.live.throughput:>12.3f}{report.throughput_delta:>9.1%}",
+        f"  {'response s':<18}{report.des_response:>12.3f}"
+        f"{report.live.response_time:>12.3f}{report.response_delta:>9.3f}s",
+        f"  completed: DES {report.des_completed}, live {report.live.completed} "
+        f"(refused {report.live.refused}, errors {report.live.errors})",
+        f"  protocol errors: {report.protocol_errors}",
+        f"  tolerance {report.tolerance:.0%} -> {'OK' if report.ok else 'DIVERGED'}",
+    ]
+    return "\n".join(lines)

@@ -19,12 +19,12 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from repro.errors import RequestTimeoutError, ServiceUnavailableError, SimulationError
-from repro.sim.rpc import RetryPolicy, Service, call
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.sim.host import Host
     from repro.sim.network import Network
+    from repro.sim.rpc import RetryPolicy, Service
 
 __all__ = ["RegistrarStats", "soft_state_registrar"]
 
@@ -64,6 +64,8 @@ def soft_state_registrar(
     this registrant's data.  An outage longer than ``ttl`` expires the
     lease; the first successful cycle after restart re-registers.
     """
+    from repro.sim.rpc import call  # runtime-only: keeps the module sim-free at import
+
     if ttl <= interval:
         raise SimulationError(f"ttl ({ttl}) must exceed renew interval ({interval})")
     st = stats if stats is not None else RegistrarStats()

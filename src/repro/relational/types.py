@@ -6,7 +6,16 @@ import typing as _t
 
 from repro.errors import SchemaError
 
-__all__ = ["ColumnType", "Column", "coerce", "SqlValue"]
+__all__ = [
+    "ColumnType",
+    "Column",
+    "coerce",
+    "SqlValue",
+    "encode_value",
+    "decode_value",
+    "encode_result",
+    "decode_result",
+]
 
 SqlValue = _t.Union[int, float, str, None]
 
@@ -78,3 +87,94 @@ def coerce(value: SqlValue, column: Column) -> SqlValue:
         raise SchemaError(
             f"cannot store {value!r} in {column.type} column {column.name!r}"
         ) from exc
+
+
+# -- wire encoding -----------------------------------------------------------
+#
+# R-GMA shipped tuples and SQL result sets between servlets as text; the
+# live service plane does the same over HTTP.  The format is line/tab
+# framed with a one-character type tag per value so a round trip
+# preserves SQL types exactly (INT vs REAL vs TEXT vs NULL), which JSON
+# would not (it collapses 1 and 1.0, and cannot carry a lone NULL row
+# value distinguishably in a plain cell).
+
+_ESCAPES = {"\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r"}
+_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
+
+
+def _escape(text: str) -> str:
+    for raw, esc in _ESCAPES.items():
+        text = text.replace(raw, esc)
+    return text
+
+
+def _unescape(text: str) -> str:
+    out: list[str] = []
+    it = iter(text)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        try:
+            code = next(it)
+        except StopIteration:
+            raise SchemaError(f"dangling escape in {text!r}") from None
+        try:
+            out.append(_UNESCAPES[code])
+        except KeyError:
+            raise SchemaError(f"unknown escape \\{code} in {text!r}") from None
+    return "".join(out)
+
+
+def encode_value(value: SqlValue) -> str:
+    """One SQL value as a type-tagged token (``~`` / ``i:`` / ``r:`` / ``t:``)."""
+    if value is None:
+        return "~"
+    if isinstance(value, bool):  # bool is an int subclass; store as INT
+        return f"i:{int(value)}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"r:{value!r}"
+    if isinstance(value, str):
+        return f"t:{_escape(value)}"
+    raise SchemaError(f"cannot encode {type(value).__name__} value {value!r}")
+
+
+def decode_value(token: str) -> SqlValue:
+    """Invert :func:`encode_value`."""
+    if token == "~":
+        return None
+    tag, sep, body = token.partition(":")
+    if not sep or tag not in ("i", "r", "t"):
+        raise SchemaError(f"malformed value token {token!r}")
+    if tag == "i":
+        return int(body)
+    if tag == "r":
+        return float(body)
+    return _unescape(body)
+
+
+def encode_result(
+    columns: _t.Sequence[str], rows: _t.Iterable[_t.Sequence[SqlValue]]
+) -> str:
+    """Serialize an SQL result set: a header line, then one line per row."""
+    lines = ["\t".join(_escape(c) for c in columns)]
+    for row in rows:
+        if len(row) != len(columns):
+            raise SchemaError(f"row width {len(row)} != {len(columns)} columns")
+        lines.append("\t".join(encode_value(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def decode_result(text: str) -> tuple[tuple[str, ...], list[tuple[SqlValue, ...]]]:
+    """Invert :func:`encode_result` into ``(columns, rows)``."""
+    lines = text.splitlines()
+    if not lines:
+        raise SchemaError("empty result text")
+    columns = tuple(_unescape(c) for c in lines[0].split("\t"))
+    rows = [tuple(decode_value(tok) for tok in line.split("\t")) for line in lines[1:]]
+    for row in rows:
+        if len(row) != len(columns):
+            raise SchemaError(f"row width {len(row)} != {len(columns)} columns")
+    return columns, rows

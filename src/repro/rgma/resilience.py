@@ -21,12 +21,12 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from repro.errors import RequestTimeoutError, ServiceUnavailableError
-from repro.sim.rpc import RetryPolicy, Service, call
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.sim.host import Host
     from repro.sim.network import Network
+    from repro.sim.rpc import RetryPolicy, Service
 
 __all__ = ["MediatorStats", "resilient_lookup", "mediated_query"]
 
@@ -58,6 +58,8 @@ def resilient_lookup(
     Returns the registry service's answer (``{"producers": n}``).
     Raises like :func:`repro.sim.rpc.call` when retries are exhausted.
     """
+    from repro.sim.rpc import call  # runtime-only: keeps the module sim-free at import
+
     answer = yield from call(
         sim,
         net,
@@ -90,6 +92,8 @@ def mediated_query(
     exists (counted in ``stale_plans_used``); give up only when there is
     no plan at all.  Returns the ProducerServlet's answer.
     """
+    from repro.sim.rpc import call  # runtime-only: keeps the module sim-free at import
+
     st = stats if stats is not None else MediatorStats()
     try:
         plan = yield from resilient_lookup(

@@ -16,13 +16,13 @@ request, exactly like a real overloaded server.
 
 from __future__ import annotations
 
-import math
 import typing as _t
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.costmodel import ConnectionOverhead
 from repro.errors import (
     CircuitOpenError,
     RequestTimeoutError,
@@ -72,27 +72,9 @@ class Response:
     size: int = 1024
 
 
-@dataclass(frozen=True)
-class ConnectionOverhead:
-    """Concurrency-dependent per-request latency ``L(c)``.
-
-    ``L(c) = base + extra * (1 - exp(-c / scale))`` where ``c`` is the
-    number of connections open at the server when the request is
-    admitted.  This phenomenological stand-in for connection management
-    plus GSI-handshake cost reproduces the GRIS-cache response plateau
-    (~4 s for >=50 users, Figure 6) while remaining sub-second at 10
-    users (Figure 14).  See DESIGN.md §2.
-    """
-
-    base: float = 0.0
-    extra: float = 0.0
-    scale: float = 20.0
-
-    def latency(self, connections: int) -> float:
-        """Latency charged to a request admitted with ``connections`` open."""
-        if self.extra == 0.0:
-            return self.base
-        return self.base + self.extra * (1.0 - math.exp(-connections / self.scale))
+# ConnectionOverhead moved to repro.core.costmodel (it is shared by the
+# live asyncio runtime, which must import without the simulator); it is
+# re-exported here so existing imports keep working.
 
 
 @dataclass

@@ -1,0 +1,80 @@
+"""The live plane and the kernels must import without the simulator.
+
+The whole point of the kernel extraction is that service logic lives
+below the runtime split: :mod:`repro.core.kernels` and
+:mod:`repro.live` (plus the domain packages they pull in) may not
+import :mod:`repro.sim` at module scope.  A fresh interpreter with a
+meta-path blocker makes any regression an ImportError, not a silent
+re-coupling.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+BLOCKER_SCRIPT = """
+import sys
+
+class SimBlocker:
+    def find_spec(self, name, path=None, target=None):
+        if name == "repro.sim" or name.startswith("repro.sim."):
+            raise ImportError(f"{name} blocked: this module must stay sim-free")
+        return None
+
+sys.meta_path.insert(0, SimBlocker())
+
+import repro.core.kernels
+import repro.core.workload
+import repro.core.metrics
+import repro.mds.resilience
+import repro.rgma.resilience
+import repro.hawkeye.resilience
+import repro.live
+from repro.core.kernels.build import connect_plan, materialize_plan
+from repro.core.topology.plan import DeploymentPlan
+from repro.core.topology.catalog import exp1_plan
+
+# Compiling a plan to live services exercises materialize/connect and
+# every kernel constructor -- still no simulator.
+from repro.live.runtime import AsyncioRuntime
+
+for system in ("mds-gris-cache", "rgma-ps-lucky", "hawkeye-agent"):
+    dep = AsyncioRuntime(time_scale=0.1).compile(exp1_plan(system))
+    assert dep.services, system
+
+assert "repro.sim" not in sys.modules
+print("sim-free imports OK")
+"""
+
+
+def test_kernels_and_live_import_without_sim():
+    proc = subprocess.run(
+        [sys.executable, "-c", BLOCKER_SCRIPT],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "sim-free imports OK" in proc.stdout
+
+
+def test_des_twin_still_uses_sim():
+    """Sanity check the blocker: the DES runtime *does* need repro.sim."""
+    script = BLOCKER_SCRIPT.split("import repro.core.kernels")[0] + (
+        "try:\n"
+        "    import repro.core.desruntime\n"
+        "except ImportError:\n"
+        "    print('des blocked as expected')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "des blocked as expected" in proc.stdout

@@ -1,0 +1,181 @@
+"""The asyncio runtime: real listeners, real clients, DES semantics.
+
+Every test compiles a catalog plan with a small ``time_scale`` so the
+model clock runs 20-50x faster than the wall clock; queries go through
+actual TCP connections on 127.0.0.1 (port 0 at bind, OS-assigned port
+read back off the runtime handle).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.classad.ads import ClassAd
+from repro.core.kernels.ops import Compute, KernelResponse, KernelSpec
+from repro.core.topology.catalog import catalog_entries, exp1_plan, two_level_plan
+from repro.errors import ServiceUnavailableError
+from repro.ldap.ldif import from_ldif
+from repro.live.clients import line_query
+from repro.live.loadgen import query_once, reduce_log, run_load
+from repro.live.runtime import AsyncioRuntime, LiveClock, LiveService
+
+TS = 0.02  # wall seconds per model second: 50x compression
+
+
+def in_loop(coro):
+    return asyncio.run(coro)
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_port_zero_binding_reports_real_ports():
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("mds-gris-cache"))
+        assert dep.ports == {}  # nothing bound before start
+        async with dep:
+            assert dep.running
+            assert set(dep.ports) == set(dep.services)
+            assert all(port > 0 for port in dep.ports.values())
+            assert len(set(dep.ports.values())) == len(dep.ports)
+            assert dep.entry in dep.ports
+        assert not dep.running
+        assert dep.ports == {}  # stop() clears the handle
+
+    in_loop(main())
+
+
+def test_repeated_start_stop_rebinds_cleanly():
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("hawkeye-agent"))
+        for _ in range(3):
+            async with dep:
+                value, _body = await query_once(dep)
+                assert value["attrs"] > 0
+
+    in_loop(main())
+
+
+def test_double_start_is_an_error():
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("mds-gris-cache"))
+        async with dep:
+            with pytest.raises(RuntimeError):
+                await dep.start()
+
+    in_loop(main())
+
+
+# -- one query per system, wire body parsed back -----------------------------
+
+
+def test_mds_query_returns_parseable_ldif():
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("mds-gris-cache"))
+        async with dep:
+            value, body = await query_once(dep)
+        assert value["entries"] > 0
+        entries = from_ldif(body)
+        assert len(entries) == value["entries"]
+
+    in_loop(main())
+
+
+def test_hawkeye_query_returns_parseable_classad():
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("hawkeye-agent"))
+        async with dep:
+            value, body = await query_once(dep)
+        ad = ClassAd.deserialize(body)
+        assert len(ad) == value["attrs"]
+
+    in_loop(main())
+
+
+def test_rgma_mediated_query_crosses_two_services():
+    # entry=cs is a mediator: the query hops CS -> PS over a second
+    # real socket before the answer comes back.
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("rgma-ps-uc"))
+        async with dep:
+            value, _body = await query_once(dep)
+        assert value["rows"] >= 0
+
+    in_loop(main())
+
+
+def test_fanout_tree_aggregates_children():
+    async def main():
+        plan = two_level_plan(4)  # two mid GIIS, fan ~2 each, fanout top
+        dep = AsyncioRuntime(time_scale=TS).compile(plan)
+        async with dep:
+            top, _ = await query_once(dep)
+            mid, _ = await query_once(dep, "mid0")
+        assert top["entries"] > mid["entries"] > 0
+
+    in_loop(main())
+
+
+def test_unknown_verb_is_a_protocol_error():
+    from repro.live.clients import ProtocolError
+
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("mds-gris-cache"))
+        async with dep:
+            port = dep.ports[dep.entry]
+            with pytest.raises(ProtocolError):
+                await line_query(dep.host, port, {"x": 1}, verb="BOGUS")
+
+    in_loop(main())
+
+
+# -- admission control -------------------------------------------------------
+
+
+def _slow_kernel_spec(seconds):
+    def handle(payload):
+        yield Compute(seconds)
+        return KernelResponse(value="done", size=10)
+
+    return KernelSpec("slow", handle, max_threads=1, backlog=1)
+
+
+def test_admission_refuses_past_threads_plus_backlog():
+    async def main():
+        service = LiveService(_slow_kernel_spec(0.2), LiveClock(0.1))
+        results = await asyncio.gather(
+            *(service.request(None) for _ in range(4)), return_exceptions=True
+        )
+        refused = [r for r in results if isinstance(r, ServiceUnavailableError)]
+        served = [r for r in results if isinstance(r, KernelResponse)]
+        # 1 thread + 1 backlog slot: exactly two of four get through.
+        assert len(served) == 2
+        assert len(refused) == 2
+        assert service.refusals == 2
+
+    in_loop(main())
+
+
+def test_des_only_edges_are_skipped_with_notes():
+    plan = catalog_entries()["faults-mds-registration"]()
+    dep = AsyncioRuntime(time_scale=TS).compile(plan)
+    assert any("soft-state registrar" in note for note in dep.skipped)
+
+
+# -- closed-loop load --------------------------------------------------------
+
+
+def test_run_load_produces_a_window_summary():
+    async def main():
+        dep = AsyncioRuntime(time_scale=TS).compile(exp1_plan("mds-gris-cache"))
+        async with dep:
+            result = await run_load(dep, users=3, duration=8.0, seed=5)
+        return result
+
+    result = in_loop(main())
+    assert result.protocol_errors == 0
+    summary = reduce_log(result)
+    assert summary.completed > 0
+    assert summary.throughput > 0
+    assert summary.response_time > 0
+    assert summary.errors == 0

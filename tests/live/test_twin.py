@@ -1,0 +1,116 @@
+"""The twin harness: one plan through both runtimes, compared.
+
+Short windows and a compressed live clock keep these in CI time; the
+assertions are on structure and protocol cleanliness plus a loose
+agreement bound (the documented CI tolerance), not on the tight
+tolerance the full `repro-serve twin` gate uses.
+"""
+
+import json
+
+import pytest
+
+from repro.core.params import WorkloadParams
+from repro.core.topology.catalog import exp1_plan
+from repro.live.twin import TwinReport, format_report, run_twin
+from repro.live.loadgen import LiveSummary
+
+# Short windows need a short ramp: de-phase starts inside the warm-up.
+FAST = dict(
+    warmup=2.0, window=8.0, time_scale=0.05, wp=WorkloadParams(start_spread=1.5)
+)
+
+
+def _summary(throughput, response, completed=10, refused=0, errors=0):
+    return LiveSummary(
+        throughput=throughput,
+        response_time=response,
+        completed=completed,
+        refused=refused,
+        timeouts=0,
+        errors=errors,
+        window=10.0,
+    )
+
+
+# -- verdict arithmetic (no sockets) -----------------------------------------
+
+
+def _report(des_tp, des_rt, live, protocol_errors=0, tolerance=0.35):
+    return TwinReport(
+        plan="unit",
+        users=2,
+        des_throughput=des_tp,
+        des_response=des_rt,
+        des_completed=20,
+        live=live,
+        protocol_errors=protocol_errors,
+        tolerance=tolerance,
+    )
+
+
+def test_agreeing_curves_pass():
+    report = _report(2.0, 0.5, _summary(2.1, 0.55))
+    assert report.ok
+    assert report.throughput_delta == pytest.approx(0.05)
+    assert report.response_delta == pytest.approx(0.05)
+
+
+def test_throughput_divergence_fails():
+    assert not _report(2.0, 0.5, _summary(3.0, 0.5)).ok
+
+
+def test_response_divergence_fails_beyond_both_bounds():
+    # 0.4s absolute and 80% relative: outside the 0.15s floor and the
+    # relative tolerance.
+    assert not _report(2.0, 0.5, _summary(2.0, 0.9)).ok
+
+
+def test_subsecond_absolute_floor_forgives_tiny_responses():
+    # 3x relative but only 20ms absolute: localhost scheduling noise.
+    assert _report(2.0, 0.01, _summary(2.0, 0.03)).ok
+
+
+def test_protocol_errors_always_fail():
+    assert not _report(2.0, 0.5, _summary(2.0, 0.5), protocol_errors=1).ok
+
+
+def test_format_report_renders_verdict():
+    text = format_report(_report(2.0, 0.5, _summary(2.1, 0.55)))
+    assert "twin comparison" in text
+    assert "OK" in text and "DIVERGED" not in text
+
+
+# -- a real end-to-end twin (DES + sockets) ----------------------------------
+
+
+def test_twin_agrees_on_exp1_rgma():
+    report = run_twin(exp1_plan("rgma-ps-lucky"), users=4, seed=3, **FAST)
+    assert report.protocol_errors == 0
+    assert report.live.completed > 0
+    assert report.des_completed > 0
+    # The documented CI bound: live vs DES within 50% on a short window.
+    assert report.throughput_delta <= 0.5
+    assert report.response_delta <= 0.5 or report.ok
+
+
+def test_twin_cli_json_output(capsys):
+    from repro.live.cli import main
+
+    code = main(
+        [
+            "twin",
+            "exp1-hawkeye-agent",
+            "--users", "3",
+            "--warmup", "2",
+            "--window", "8",
+            "--time-scale", "0.05",
+            "--tolerance", "0.5",
+            "--seed", "2",
+            "--json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["protocol_errors"] == 0
+    assert payload["plan"] == "exp1-hawkeye-agent"
+    assert (code == 0) == payload["ok"]

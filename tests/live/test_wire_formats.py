@@ -1,0 +1,112 @@
+"""Round-trip tests for the three wire dialects the live plane speaks.
+
+What a live listener writes, a client (or the next tier up) must be
+able to parse back losslessly: LDIF for MDS, the tab-framed result
+codec for R-GMA, Condor long-format ClassAd text for Hawkeye.
+"""
+
+import pytest
+
+from repro.classad.ads import ClassAd
+from repro.errors import SchemaError
+from repro.ldap.entry import Entry
+from repro.ldap.ldif import from_ldif, to_ldif
+from repro.relational.types import decode_result, encode_result
+
+
+# -- LDIF (MDS) --------------------------------------------------------------
+
+
+def _entries():
+    return [
+        Entry(
+            "Mds-Host-hn=host0.lucky.edu, Mds-Vo-name=site, o=grid",
+            {"objectclass": "MdsHost", "Mds-Cpu-Total-count": 4},
+        ),
+        Entry(
+            "Mds-Device-name=cpu0, Mds-Host-hn=host0.lucky.edu, "
+            "Mds-Vo-name=site, o=grid",
+            {"objectclass": ["MdsDevice", "MdsCpu"], "Mds-Cpu-speedMHz": 1533},
+        ),
+    ]
+
+
+def test_ldif_round_trip():
+    original = _entries()
+    parsed = from_ldif(to_ldif(original))
+    assert len(parsed) == len(original)
+    for before, after in zip(original, parsed):
+        assert str(after.dn) == str(before.dn)
+        # Attribute order may canonicalize (the implicit RDN attribute
+        # moves first on parse); names and values must survive exactly.
+        assert set(after.attribute_names()) == set(before.attribute_names())
+        for name in before.attribute_names():
+            assert after.get(name) == before.get(name)
+
+
+def test_ldif_round_trip_is_stable():
+    once = to_ldif(from_ldif(to_ldif(_entries())))
+    assert to_ldif(from_ldif(once)) == once
+
+
+def test_ldif_multivalued_attributes_survive():
+    entry = from_ldif(to_ldif(_entries()))[1]
+    assert entry.get("objectclass") == ["MdsDevice", "MdsCpu"]
+
+
+# -- result codec (R-GMA) ----------------------------------------------------
+
+
+def test_result_codec_round_trip_types():
+    columns = ("machine", "load", "slots", "note")
+    rows = [
+        ("host0.lucky.edu", 0.25, 4, "ok"),
+        ("host1.lucky.edu", 1.0, 2, None),
+    ]
+    text = encode_result(columns, rows)
+    cols2, rows2 = decode_result(text)
+    assert cols2 == columns
+    assert rows2 == [tuple(r) for r in rows]
+    # Types survive, not just repr: ints stay ints, floats stay floats.
+    assert isinstance(rows2[0][1], float) and isinstance(rows2[0][2], int)
+    assert rows2[1][3] is None
+
+
+def test_result_codec_escapes_framing_characters():
+    columns = ("k", "v")
+    rows = [("tab\there", "newline\nthere"), ("back\\slash", "~")]
+    cols2, rows2 = decode_result(encode_result(columns, rows))
+    assert cols2 == columns
+    assert rows2 == [tuple(r) for r in rows]
+
+
+def test_result_codec_rejects_ragged_rows():
+    with pytest.raises(SchemaError):
+        encode_result(("a", "b"), [("only-one",)])
+
+
+# -- ClassAd text (Hawkeye) --------------------------------------------------
+
+
+def test_classad_round_trip():
+    ad = ClassAd()
+    ad.set_expr("Name", '"startd@host0"')
+    ad.set_expr("LoadAvg", "0.25")
+    ad.set_expr("Memory", "512")
+    ad.set_expr("Rank", "Memory * 2")
+    again = ClassAd.deserialize(ad.serialize())
+    assert again.serialize() == ad.serialize()
+    assert again.get_scalar("Name") == "startd@host0"
+    assert again.get_scalar("Memory") == 512
+    # Expressions stay expressions -- Rank still evaluates against Memory.
+    assert again.get_scalar("Rank") == 1024
+
+
+def test_synthesized_startd_ad_round_trips():
+    import numpy as np
+
+    from repro.hawkeye.advertise import synthesize_startd_ad
+
+    ad = synthesize_startd_ad("wisc-00", np.random.default_rng(7), now=12.5)
+    again = ClassAd.deserialize(ad.serialize())
+    assert again.serialize() == ad.serialize()
