@@ -1,0 +1,486 @@
+"""Scenario experiments: the paper's sweeps under generative dynamics.
+
+:func:`run_scenario_point` reruns any Experiment 1/2 coordinate (plus
+the ``mds-registration`` soft-state scenario) with a
+:class:`~repro.core.scenario.model.Scenario` attached: arrival
+modulation and client mixes ride into :func:`~repro.core.runner.drive`,
+churn and WAN weather are installed on the compiled deployment by
+:func:`~repro.core.scenario.apply.apply_scenario`.  Every point also
+returns a :class:`RunAudit` — the full server-side request accounting
+the fuzzer's metamorphic invariants check
+(:mod:`repro.core.scenario.fuzz`).
+
+Scenarios are passed by registry name (:data:`NAMED_SCENARIOS`), by
+``examples/*.scenario.json`` path, or as :class:`Scenario` objects
+(the fuzzer's random draws).  All three forms are deterministic and
+cache-friendly: a Scenario is a frozen dataclass, so the point cache
+canonicalizes it field by field.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field, replace
+
+from repro.core.experiments import exp1, exp2
+from repro.core.experiments.common import lucky_clients, sweep_points, uc_clients
+from repro.core.experiments.faults import REG_INTERVAL, REG_TTL
+from repro.core.parallel import register_codec
+from repro.core.params import StudyParams, default_params, measurement_window
+from repro.core.runner import PointResult, ScenarioRun, drive, new_run
+from repro.core.scenario.apply import ScenarioOps, apply_scenario
+from repro.core.scenario.codec import load as load_scenario
+from repro.core.scenario.model import (
+    ArrivalModel,
+    ChurnModel,
+    MixComponent,
+    Scenario,
+    ScenarioError,
+    WanWeather,
+)
+from repro.core.topology import compile_plan
+from repro.core.topology.adapters import Deployment
+from repro.core.topology.catalog import exp1_plan, exp2_plan, registration_fault_plan
+from repro.mds.giis import GIIS
+from repro.mds.gris import GRIS
+from repro.sim.faults import FaultPlan
+from repro.sim.rpc import RetryPolicy
+
+__all__ = [
+    "NAMED_SCENARIOS",
+    "SYSTEMS",
+    "X_VALUES",
+    "RunAudit",
+    "ServiceAudit",
+    "ScenarioPointResult",
+    "resolve_scenario",
+    "run_scenario_point",
+    "sweep",
+    "format_scenario_table",
+]
+
+# Every figure-sweep coordinate plus the soft-state control plane.
+SYSTEMS = exp1.SYSTEMS + exp2.SYSTEMS + ("mds-registration",)
+
+X_VALUES = (10, 100, 300)
+
+# Slack after the last churn rejoin before the recovery invariant looks
+# for resumed completions (lease renew interval + one think time).
+RECOVERY_SLACK = 4.0
+
+
+def _flash_crowd() -> Scenario:
+    return Scenario(
+        name="flash-crowd",
+        description="4x arrival spike mid-window (release-announcement rush)",
+        arrivals=(ArrivalModel(kind="flash", at=30.0, duration=20.0, peak=4.0),),
+    )
+
+
+def _churn_diurnal() -> Scenario:
+    return Scenario(
+        name="churn-diurnal",
+        description="day/night load swing while registrants churn",
+        arrivals=(ArrivalModel(kind="diurnal", period=40.0, amplitude=0.4),),
+        churn=ChurnModel(session_time=18.0, downtime=4.0, start=10.0, end=55.0),
+    )
+
+
+def _wan_weather() -> Scenario:
+    return Scenario(
+        name="wan-weather",
+        description="correlated inter-site latency/loss episodes",
+        wan=WanWeather(rate=0.05, mean_duration=6.0, extra_latency=0.04, loss=0.08),
+    )
+
+
+def _client_mix() -> Scenario:
+    return Scenario(
+        name="client-mix",
+        description="heterogeneous users: steady, Poisson and heavy-tailed",
+        mix=(
+            MixComponent(fraction=0.5, pattern="constant"),
+            MixComponent(fraction=0.3, pattern="exponential"),
+            MixComponent(fraction=0.2, pattern="pareto"),
+        ),
+    )
+
+
+NAMED_SCENARIOS: dict[str, _t.Callable[[], Scenario]] = {
+    "flash-crowd": _flash_crowd,
+    "churn-diurnal": _churn_diurnal,
+    "wan-weather": _wan_weather,
+    "client-mix": _client_mix,
+}
+
+
+def resolve_scenario(scenario: "Scenario | str") -> Scenario:
+    """Registry name, ``*.scenario.json`` path, or Scenario instance."""
+    if isinstance(scenario, Scenario):
+        return scenario.validate()
+    if scenario in NAMED_SCENARIOS:
+        return NAMED_SCENARIOS[scenario]().validate()
+    if scenario.endswith(".json"):
+        return load_scenario(scenario)
+    raise ScenarioError(
+        f"unknown scenario {scenario!r}; pick from {tuple(NAMED_SCENARIOS)} "
+        "or pass a *.scenario.json path"
+    )
+
+
+@register_codec
+@dataclass(frozen=True)
+class ServiceAudit:
+    """One service's request accounting at the simulation horizon."""
+
+    arrived: int
+    refused: int
+    completed: int
+    errors: int
+    dropped: int
+    open_at_end: int  # connections still open (executing + accept queue)
+    max_concurrent: int
+    capacity: int  # max_threads + backlog
+    down_at_end: bool
+
+    @property
+    def accounted(self) -> int:
+        return self.refused + self.completed + self.errors + self.dropped + self.open_at_end
+
+
+@register_codec
+@dataclass(frozen=True)
+class RunAudit:
+    """Everything the metamorphic invariants need from one run."""
+
+    horizon: float
+    window_start: float
+    window_end: float
+    services: dict[str, ServiceAudit] = field(default_factory=dict)
+    # Client-side outcome counts over the whole horizon.
+    client_ok: int = 0
+    client_refused: int = 0
+    client_timeout: int = 0
+    client_error: int = 0
+    # Directory-cache counters summed over GIIS/GRIS objects.
+    cache_hits: int = 0
+    cache_lookups: int = 0
+    # Scenario-ops counters (zero for scenario-free runs).
+    churn_leaves: int = 0
+    churn_rejoins: int = 0
+    directory_unregisters: int = 0
+    directory_registers: int = 0
+    wan_episodes: int = 0
+    messages_lost: int = 0
+    last_churn_end: float = 0.0
+    # OK completions that *started* after the recovery point
+    # (last_churn_end + RECOVERY_SLACK); -1 when churn never fired.
+    ok_after_churn: int = -1
+
+
+@register_codec
+@dataclass(frozen=True)
+class ScenarioPointResult:
+    """One (system, scenario, users) coordinate plus its audit."""
+
+    system: str
+    scenario: str
+    x: float
+    result: PointResult
+    audit: RunAudit | None = None
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+    @property
+    def response_time(self) -> float:
+        return self.result.response_time
+
+
+def _audit_run(
+    run: ScenarioRun,
+    dep: Deployment,
+    ops: ScenarioOps | None,
+    *,
+    horizon: float,
+    window_start: float,
+    window_end: float,
+) -> RunAudit:
+    services = {}
+    for name, svc in dep.services.items():
+        services[name] = ServiceAudit(
+            arrived=svc.stats.arrived,
+            refused=svc.stats.refused,
+            completed=svc.stats.completed,
+            errors=svc.stats.errors,
+            dropped=svc.stats.dropped,
+            open_at_end=svc.concurrent,
+            max_concurrent=svc.stats.max_concurrent,
+            capacity=svc.max_threads + svc.backlog,
+            down_at_end=svc.down or svc.crashed,
+        )
+    hits = lookups = 0
+    for obj in dep.objects.values():
+        for piece in obj if isinstance(obj, list) else (obj,):
+            if isinstance(piece, (GIIS, GRIS)):
+                hits += piece.cache.stats.hits
+                lookups += piece.cache.stats.lookups
+    outcomes = {"ok": 0, "refused": 0, "timeout": 0, "error": 0}
+    ok_after = -1
+    last_end = ops.last_churn_end if ops is not None else 0.0
+    if ops is not None and ops.churn_leaves:
+        ok_after = 0
+    for record in run.log.records:
+        outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+        if ok_after >= 0 and record.outcome == "ok" and record.started > last_end + RECOVERY_SLACK:
+            ok_after += 1
+    return RunAudit(
+        horizon=horizon,
+        window_start=window_start,
+        window_end=window_end,
+        services=services,
+        client_ok=outcomes["ok"],
+        client_refused=outcomes["refused"],
+        client_timeout=outcomes["timeout"],
+        client_error=outcomes["error"],
+        cache_hits=hits,
+        cache_lookups=lookups,
+        churn_leaves=ops.churn_leaves if ops else 0,
+        churn_rejoins=ops.churn_rejoins if ops else 0,
+        directory_unregisters=ops.directory_unregisters if ops else 0,
+        directory_registers=ops.directory_registers if ops else 0,
+        wan_episodes=ops.wan_episodes if ops else 0,
+        messages_lost=ops.messages_lost if ops else 0,
+        last_churn_end=last_end,
+        ok_after_churn=ok_after,
+    )
+
+
+def _wiring(system: str, run: ScenarioRun, users: int, seed: int):
+    """(plan, server_node, payload_fn, request_size, clients) for a system."""
+    p = run.params
+    if system in exp1.SYSTEMS:
+        plan = exp1_plan(system, seed)
+        if system.startswith("mds-gris"):
+            node, payload, size = (
+                "lucky7",
+                lambda uid: {"filter": "(objectclass=*)"},
+                p.gris.request_size,
+            )
+        elif system == "hawkeye-agent":
+            node, payload, size = (
+                "lucky4",
+                lambda uid: {"query": "status"},
+                p.agent.request_size,
+            )
+        else:
+            node, payload, size = (
+                "lucky3",
+                lambda uid: {"sql": "SELECT * FROM cpuLoad"},
+                p.consumer_servlet.request_size,
+            )
+        if system == "rgma-ps-lucky":
+            clients = lucky_clients(run, users, exclude=("lucky3",))
+        else:
+            clients = uc_clients(run, users)
+        return plan, node, payload, size, clients
+    if system in exp2.SYSTEMS:
+        plan = exp2_plan(system, seed)
+        if system == "mds-giis":
+            node, payload, size = (
+                "lucky0",
+                lambda uid: {"filter": "(objectclass=MdsHost)"},
+                p.giis.request_size,
+            )
+        elif system == "hawkeye-manager":
+            node, payload, size = (
+                "lucky3",
+                lambda uid: {"machine": "lucky4.mcs.anl.gov"},
+                p.manager.request_size,
+            )
+        else:
+            node, payload, size = (
+                "lucky1",
+                lambda uid: {"table": "cpuLoad"},
+                p.registry.request_size,
+            )
+        if system == "rgma-registry-lucky":
+            clients = lucky_clients(run, users, exclude=("lucky1",))
+        else:
+            clients = uc_clients(run, users)
+        return plan, node, payload, size, clients
+    # mds-registration: the soft-state control plane under churn.
+    plan = registration_fault_plan(seed, interval=REG_INTERVAL, ttl=REG_TTL)
+    return (
+        plan,
+        "lucky0",
+        lambda uid: {"filter": "(objectclass=MdsHost)"},
+        p.giis.request_size,
+        uc_clients(run, users),
+    )
+
+
+_MONITORED = {
+    "hawkeye-agent": ("lucky4",),
+    "rgma-ps-lucky": ("lucky3",),
+    "rgma-ps-uc": ("lucky3",),
+    "mds-giis": ("lucky0",),
+    "hawkeye-manager": ("lucky3",),
+    "rgma-registry-lucky": ("lucky1",),
+    "rgma-registry-uc": ("lucky1",),
+    "mds-registration": ("lucky0",),
+}
+
+
+def run_scenario_point(
+    system: str,
+    scenario: "Scenario | str",
+    users: int,
+    seed: int = 1,
+    *,
+    params: StudyParams | None = None,
+    warmup: float | None = None,
+    window: float | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    fidelity: str | None = None,
+) -> ScenarioPointResult:
+    """One (system, scenario, users) coordinate on the exact DES.
+
+    ``fidelity`` routes environment-free scenarios (no churn, no WAN)
+    through the fast tiers: the scenario collapses to an *effective
+    workload* (window-mean arrival factor, population-mean think time)
+    via :meth:`Scenario.effective_workload`, and the audit is ``None``
+    because fast tiers model no per-request accounting.
+
+    ``faults`` composes an ordinary :class:`~repro.sim.faults.FaultPlan`
+    with the scenario — outages are depth-counted, so a crash window
+    overlapping a churn-out never double-frees a server.
+    """
+    sc = resolve_scenario(scenario)
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown scenario system {system!r}; pick from {SYSTEMS}")
+    limit_systems = {"rgma-ps-uc": exp1.UC_VARIANT_MAX_USERS, "rgma-registry-uc": exp2.UC_VARIANT_MAX_USERS}
+    if users > limit_systems.get(system, users):
+        raise ValueError(f"{system} supports at most {limit_systems[system]} users")
+
+    default_warmup, default_window = measurement_window()
+    warmup = default_warmup if warmup is None else warmup
+    window = default_window if window is None else window
+    horizon = warmup + window
+
+    if fidelity is not None and fidelity != "exact":
+        blocked = sc.requires_exact()
+        if blocked:
+            raise ScenarioError(
+                f"scenario {sc.name!r} uses {', '.join(blocked)}; fast tiers "
+                "model steady state only — run the exact DES"
+            )
+        if system == "mds-registration":
+            raise ScenarioError("mds-registration has no fast-tier projection")
+        base = params or default_params()
+        eff = sc.effective_workload(base.workload, warmup, horizon, tier=fidelity)
+        run_point = exp1.run_point if system in exp1.SYSTEMS else exp2.run_point
+        result = run_point(
+            system,
+            users,
+            seed,
+            params=replace(base, workload=eff),
+            warmup=warmup,
+            window=window,
+            fidelity=fidelity,
+        )
+        return ScenarioPointResult(
+            system=system, scenario=sc.name, x=users, result=result, audit=None
+        )
+
+    monitored = _MONITORED.get(system, ("lucky7",))
+    run = new_run(seed, params, monitored=monitored)
+    plan, server_node, payload_fn, request_size, clients = _wiring(
+        system, run, users, seed
+    )
+    reg_retry = None
+    if system == "mds-registration":
+        reg_retry = RetryPolicy(
+            max_attempts=3,
+            base_backoff=0.5,
+            max_backoff=4.0,
+            rng=run.rng.stream("registrar-retry", str(users)),
+        )
+    cs_retry = None
+    if system.startswith("rgma") and (retry is not None or faults is not None):
+        cs_retry = RetryPolicy(
+            max_attempts=2,
+            base_backoff=0.25,
+            max_backoff=2.0,
+            rng=run.rng.stream("cs-retry", system, str(users)),
+        )
+    dep = compile_plan(
+        plan, run, mediation_retry=cs_retry, registration_retry=reg_retry
+    )
+    ops = apply_scenario(sc, run, dep, horizon=horizon)
+
+    assert dep.entry is not None
+    result = drive(
+        run,
+        system=system,
+        x=users,
+        service=dep.entry,
+        clients=clients,
+        server_host=run.testbed.lucky[server_node],
+        payload_fn=payload_fn,
+        request_size=request_size,
+        services_by_user=[dep.route(c) for c in clients] if dep.routed else None,
+        warmup=warmup,
+        window=window,
+        retry=retry,
+        faults=faults,
+        fault_services=dep.fault_services if faults is not None else None,
+        scenario=sc,
+    )
+    audit = _audit_run(
+        run,
+        dep,
+        ops,
+        horizon=horizon,
+        window_start=warmup,
+        window_end=horizon,
+    )
+    return ScenarioPointResult(
+        system=system, scenario=sc.name, x=users, result=result, audit=audit
+    )
+
+
+def sweep(
+    system: str,
+    scenario: "Scenario | str",
+    x_values: _t.Sequence[int] = X_VALUES,
+    seed: int = 1,
+    **kwargs: _t.Any,
+) -> list[ScenarioPointResult]:
+    """One scenario across user counts (cached/fanned like any sweep)."""
+    sc = resolve_scenario(scenario)
+    return sweep_points(
+        run_scenario_point, [(system, sc, users, seed) for users in x_values], **kwargs
+    )
+
+
+def format_scenario_table(rows: _t.Sequence[ScenarioPointResult]) -> str:
+    """Fixed-width table of scenario-point metrics for benchmark output."""
+    header = (
+        f"{'system':<20} {'scenario':<16} {'users':>5} "
+        f"{'tput':>8} {'resp':>8} {'churn':>6} {'lost':>5} {'ok':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        audit = r.audit
+        churn = f"{audit.churn_leaves}/{audit.churn_rejoins}" if audit else "-"
+        lost = str(audit.messages_lost) if audit else "-"
+        ok = str(audit.client_ok) if audit else "-"
+        lines.append(
+            f"{r.system:<20} {r.scenario:<16} {r.x:>5.0f} "
+            f"{r.result.throughput:>8.2f} {r.result.response_time:>8.4f} "
+            f"{churn:>6} {lost:>5} {ok:>8}"
+        )
+    return "\n".join(lines)

@@ -47,6 +47,9 @@ from repro.sim.network import Network
 from repro.sim.randomness import RngHub
 from repro.sim.rpc import RetryPolicy, Service
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scenario.model import Scenario
+
 __all__ = ["ScenarioRun", "PointResult", "new_run", "drive"]
 
 
@@ -138,6 +141,7 @@ def drive(
     faults: FaultPlan | None = None,
     fault_services: _t.Sequence[Service] | None = None,
     adaptive: AdaptiveConfig | bool | None = None,
+    scenario: "Scenario | None" = None,
 ) -> PointResult:
     """Run the workload and reduce the window to one figure point.
 
@@ -145,6 +149,14 @@ def drive(
     ``faults`` installs a :class:`FaultPlan` on ``fault_services``
     (defaulting to the anchor ``service``) before the run.  When either
     is present the result carries a :class:`ResilienceSummary`.
+
+    ``scenario`` applies the workload-side generative models: arrival
+    modulation scales every user's think time over simulated time, and a
+    client mix splits the population across think patterns (group 0
+    draws from the exact stream a scenario-free run uses, so an empty
+    scenario reproduces it byte-for-byte).  Churn and WAN weather are
+    environment models — install them with
+    :func:`repro.core.scenario.apply.apply_scenario` before calling.
 
     A truthy ``adaptive`` (``True`` or an
     :class:`~repro.core.stats.AdaptiveConfig`) switches this run to the
@@ -157,19 +169,52 @@ def drive(
     wp = workload or run.params.workload
     if faults is not None:
         install_faults(run.sim, list(fault_services or [service]), faults)
-    spawn_users(
-        run.sim,
-        run.net,
-        clients,
-        service,
-        log=run.log,
-        wp=wp,
-        rng=run.rng.stream("workload", system, str(x)),
-        payload_fn=payload_fn,
-        request_size=request_size,
-        services_by_user=services_by_user,
-        retry=retry,
-    )
+    if scenario is None:
+        spawn_users(
+            run.sim,
+            run.net,
+            clients,
+            service,
+            log=run.log,
+            wp=wp,
+            rng=run.rng.stream("workload", system, str(x)),
+            payload_fn=payload_fn,
+            request_size=request_size,
+            services_by_user=services_by_user,
+            retry=retry,
+        )
+    else:
+        think_scale = scenario.think_scale if scenario.arrivals else None
+        first = 0
+        for index, (count, group_wp) in enumerate(
+            scenario.component_workloads(wp, len(clients))
+        ):
+            # Group 0 draws from the exact stream a scenario-free run
+            # uses; only extra mix groups get their own streams, so a
+            # scenario without a mix perturbs nothing.
+            parts = ("workload", system, str(x)) + (
+                (f"mix{index}",) if index else ()
+            )
+            spawn_users(
+                run.sim,
+                run.net,
+                clients[first : first + count],
+                service,
+                log=run.log,
+                wp=group_wp,
+                rng=run.rng.stream(*parts),
+                payload_fn=payload_fn,
+                request_size=request_size,
+                services_by_user=(
+                    services_by_user[first : first + count]
+                    if services_by_user is not None
+                    else None
+                ),
+                retry=retry,
+                think_scale=think_scale,
+                first_id=first,
+            )
+            first += count
     horizon = warmup + window
     run.sim.run(until=horizon)
 

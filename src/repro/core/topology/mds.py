@@ -110,6 +110,10 @@ class MdsAdapter(SystemAdapter):
         self, plan: DeploymentPlan, run: ScenarioRun, dep: Deployment, hooks: CompileHooks
     ) -> None:
         swept: list[str] = []
+        # Scenario churn marks nodes down here; registrars consult it
+        # through their gate, so a churned-out GRIS goes silent and its
+        # lease expires server-side like a crashed daemon's.
+        node_down: set[str] = dep.extras.setdefault("node_down", set())
         for edge in plan.edges:
             if edge.kind is not EdgeKind.REGISTRATION or not edge.options.get("soft_state"):
                 continue
@@ -134,6 +138,7 @@ class MdsAdapter(SystemAdapter):
                     ttl=float(edge.options["ttl"]),
                     retry=hooks.registration_retry,
                     stats=st,
+                    gate=lambda node=edge.source: node not in node_down,
                 ),
                 name=f"registrar:{label}",
             )

@@ -40,6 +40,10 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["spawn_users", "user_process", "THINK_PATTERNS", "make_think_sampler"]
 
+# A think-time multiplier sampled at the moment each wait begins; the
+# scenario plane uses it for diurnal/flash-crowd arrival modulation.
+ThinkScale = _t.Callable[[float], float]
+
 
 def _constant_pattern(wp: WorkloadParams, rng: np.random.Generator) -> _t.Callable[[], float]:
     """The paper's wait: 1 s with a little de-phasing jitter."""
@@ -114,8 +118,13 @@ def user_process(
     wp: WorkloadParams,
     rng: np.random.Generator,
     retry: RetryPolicy | None = None,
+    think_scale: ThinkScale | None = None,
 ) -> _t.Generator:
     """One user's infinite query loop (the run(until=...) ends it).
+
+    ``think_scale`` maps the current simulation time to a multiplier on
+    the sampled wait — scenario arrival modulation.  ``None`` leaves the
+    wait untouched.
 
     With ``retry``, each logical query runs through the policy's
     backoff/breaker loop; only the final outcome is logged, so refused
@@ -152,7 +161,10 @@ def user_process(
         # The paper's 1-second wait by default (with a little jitter so
         # hundreds of identical closed loops don't phase-lock into
         # request waves); other access patterns via wp.pattern.
-        yield sim.timeout(think())
+        wait = think()
+        if think_scale is not None:
+            wait *= think_scale(sim.now)
+        yield sim.timeout(wait)
 
 
 def spawn_users(
@@ -168,16 +180,21 @@ def spawn_users(
     request_size: int = 512,
     services_by_user: _t.Sequence[Service] | None = None,
     retry: RetryPolicy | None = None,
+    think_scale: ThinkScale | None = None,
+    first_id: int = 0,
 ) -> int:
     """Start one user process per entry of ``clients``.
 
     ``services_by_user`` optionally routes each user to its own service
     (the R-GMA lucky variant runs one ConsumerServlet per node).
     ``retry`` is shared by every user, so its stats accumulate the
-    run-level retry amplification.  Returns the number of users started.
+    run-level retry amplification.  ``first_id`` offsets the user ids
+    (scenario client mixes spawn the population in groups).  Returns the
+    number of users started.
     """
-    for user_id, client in enumerate(clients):
-        target = services_by_user[user_id] if services_by_user is not None else service
+    for offset, client in enumerate(clients):
+        user_id = first_id + offset
+        target = services_by_user[offset] if services_by_user is not None else service
         sim.spawn(
             user_process(
                 sim,
@@ -191,6 +208,7 @@ def spawn_users(
                 wp,
                 rng,
                 retry=retry,
+                think_scale=think_scale,
             ),
             name=f"user{user_id}",
         )

@@ -26,6 +26,7 @@ from repro.core.metrics import (
     RequestLog,
 )
 from repro.core.params import WorkloadParams
+from repro.core.scenario.model import Scenario, ScenarioError
 from repro.core.workload import make_think_sampler
 from repro.errors import ServiceUnavailableError
 from repro.live.clients import ProtocolError, http_query, line_query
@@ -107,14 +108,38 @@ async def run_load(
     seed: int = 1,
     payload: _t.Any = None,
     target: str | None = None,
+    scenario: "Scenario | None" = None,
 ) -> LiveLoadResult:
     """Drive ``users`` closed loops for ``duration`` model seconds.
 
     ``target`` names the service to hit (the plan entry by default).
     Start times are de-phased over ``wp.start_spread`` exactly like the
     DES workload, so the two runtimes ramp comparably.
+
+    ``scenario`` applies the *workload* half of a declarative scenario:
+    arrival modulation scales each think wait by the scenario's rate
+    factor at the current model time (anchored at load start), and a
+    client mix partitions the population across think patterns exactly
+    like the DES spawn does.  Churn and WAN weather manipulate
+    simulated infrastructure and have no live equivalent here —
+    scenarios using them are rejected (run them on the exact DES).
     """
     wp = wp or WorkloadParams()
+    workloads: list[WorkloadParams] = [wp] * users
+    think_scale = None
+    if scenario is not None:
+        scenario.validate()
+        blocked = scenario.requires_exact()
+        if blocked:
+            raise ScenarioError(
+                f"scenario {scenario.name!r} uses {', '.join(blocked)}; the live "
+                "load generator models arrivals and mixes only — use the DES"
+            )
+        workloads = []
+        for count, group_wp in scenario.component_workloads(wp, users):
+            workloads.extend([group_wp] * count)
+        if scenario.arrivals:
+            think_scale = scenario.think_scale
     clock = dep.clock
     log = RequestLog()
     protocol_errors = [0]
@@ -122,22 +147,23 @@ async def run_load(
     deadline = started + duration
 
     async def user(uid: int) -> None:
+        uwp = workloads[uid]
         rng = np.random.default_rng((seed, uid))
-        think = make_think_sampler(wp, rng)
-        await clock.sleep(float(rng.uniform(0.0, min(wp.start_spread, duration / 2))))
+        think = make_think_sampler(uwp, rng)
+        await clock.sleep(float(rng.uniform(0.0, min(uwp.start_spread, duration / 2))))
         while clock.now() < deadline:
             t0 = clock.now()
             try:
                 await asyncio.wait_for(
                     query_once(dep, target, payload),
                     None
-                    if wp.request_timeout is None
-                    else clock.wall(wp.request_timeout),
+                    if uwp.request_timeout is None
+                    else clock.wall(uwp.request_timeout),
                 )
                 log.add(uid, t0, clock.now(), OUTCOME_OK)
             except ServiceUnavailableError:
                 log.add(uid, t0, clock.now(), OUTCOME_REFUSED)
-                await clock.sleep(wp.retry_wait)
+                await clock.sleep(uwp.retry_wait)
                 continue
             except asyncio.TimeoutError:
                 log.add(uid, t0, clock.now(), OUTCOME_TIMEOUT)
@@ -146,7 +172,10 @@ async def run_load(
                 log.add(uid, t0, clock.now(), OUTCOME_ERROR)
             except (ConnectionError, OSError):
                 log.add(uid, t0, clock.now(), OUTCOME_ERROR)
-            await clock.sleep(think())
+            wait = think()
+            if think_scale is not None:
+                wait *= think_scale(clock.now() - started)
+            await clock.sleep(wait)
 
     tasks = [asyncio.ensure_future(user(uid)) for uid in range(users)]
     try:

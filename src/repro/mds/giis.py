@@ -105,6 +105,23 @@ class GIIS:
         """Soft-state renewal; returns False for unknown registrants."""
         return self.registrations.renew(name, now)
 
+    def unregister(self, name: str) -> Registration | None:
+        """Explicitly drop a registrant (a clean leave, not a TTL lapse).
+
+        Returns the removed :class:`Registration` so scenario churn can
+        re-register the same puller when the node rejoins, or None for
+        unknown names.  The registrant's cache slice is invalidated
+        exactly as :meth:`sweep` would.
+        """
+        self._check_alive()
+        reg = self.registrations.get(name)
+        if reg is None:
+            return None
+        self.registrations.remove(name)
+        self.cache.invalidate(name)
+        self._generation += 1
+        return reg
+
     def sweep(self, now: float) -> list[str]:
         """Clean dead registrations (the soft-state garbage collector)."""
         dead = self.registrations.sweep(now)

@@ -56,6 +56,7 @@ def soft_state_registrar(
     retry: RetryPolicy | None = None,
     request_size: int = 256,
     stats: RegistrarStats | None = None,
+    gate: _t.Callable[[], bool] | None = None,
 ) -> _t.Generator:
     """One GRIS keeping its GIIS registration alive; run with ``sim.spawn``.
 
@@ -63,6 +64,13 @@ def soft_state_registrar(
     a cycle at least once per ``ttl`` seconds, the GIIS keeps serving
     this registrant's data.  An outage longer than ``ttl`` expires the
     lease; the first successful cycle after restart re-registers.
+
+    ``gate`` (when given) is consulted before each cycle: while it
+    returns False the registrar stays silent — the node itself is down
+    (scenario churn), so its lease expires server-side exactly like a
+    crashed daemon's would, and the first cycle after the gate reopens
+    re-registers.  A gate that always returns True changes nothing:
+    no extra events, no extra RNG draws.
     """
     from repro.sim.rpc import call  # runtime-only: keeps the module sim-free at import
 
@@ -99,6 +107,10 @@ def soft_state_registrar(
         st.last_confirmed = sim.now
 
     while True:
+        if gate is not None and not gate():
+            st.registered = st.last_confirmed >= 0 and sim.now - st.last_confirmed < ttl
+            yield sim.timeout(interval)
+            continue
         try:
             yield from cycle()
         except (ServiceUnavailableError, RequestTimeoutError):

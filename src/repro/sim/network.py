@@ -11,18 +11,50 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.errors import SimulationError
+from repro.errors import ServiceUnavailableError, SimulationError
 from repro.sim.events import Timeout
 from repro.sim.host import Host
 from repro.sim.sharing import ProcessorSharing
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from repro.sim.engine import Simulator
 
-__all__ = ["Network"]
+__all__ = ["Network", "WanConditions"]
 
 # Loopback transfers still pay a small kernel crossing.
 _LOOPBACK_LATENCY = 1e-4
+
+
+class WanConditions:
+    """Degraded inter-site conditions during one WAN-weather episode.
+
+    While installed on :attr:`Network.weather`, every *cross-site*
+    message pays ``extra_latency`` on top of the configured propagation
+    delay and is lost with probability ``loss`` — the message still
+    burns its latency budget before the loss surfaces, like a drop deep
+    in the path.  Same-site and loopback traffic is untouched.
+    """
+
+    __slots__ = ("extra_latency", "loss", "rng", "lost")
+
+    def __init__(
+        self,
+        extra_latency: float,
+        loss: float,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        if extra_latency < 0:
+            raise SimulationError(f"negative extra latency: {extra_latency}")
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError(f"loss probability out of range: {loss}")
+        if loss > 0.0 and rng is None:
+            raise SimulationError("lossy WAN conditions need an rng")
+        self.extra_latency = extra_latency
+        self.loss = loss
+        self.rng = rng
+        self.lost = 0
 
 
 class Network:
@@ -41,6 +73,10 @@ class Network:
         self._link_cache: dict[tuple[str, str], ProcessorSharing | None] = {}
         self.bytes_transferred = 0
         self.messages = 0
+        # Scenario hook: a WanConditions while a weather episode is
+        # active, None otherwise.  The None path costs one attribute
+        # read per transfer and changes nothing.
+        self.weather: WanConditions | None = None
 
     # -- topology construction -------------------------------------------------
     def set_latency(self, site_a: str, site_b: str, seconds: float) -> None:
@@ -112,6 +148,18 @@ class Network:
         link = self._site_link(src_site, dst_site)
         if link is not None:
             yield link.serve(nbytes)
-        yield Timeout(sim, self._site_latency(src_site, dst_site))
+        propagation = self._site_latency(src_site, dst_site)
+        weather = self.weather
+        if weather is not None and src_site != dst_site:
+            propagation += weather.extra_latency
+            if weather.loss > 0.0 and float(weather.rng.random()) < weather.loss:
+                # The message burns its whole latency budget before the
+                # drop surfaces — a loss deep in the WAN path.
+                weather.lost += 1
+                yield Timeout(sim, propagation)
+                raise ServiceUnavailableError(
+                    f"message {src_site}->{dst_site} lost to WAN weather"
+                )
+        yield Timeout(sim, propagation)
         yield dst.nic_in.serve(nbytes)
         return nbytes

@@ -264,6 +264,7 @@ class Service:
         self.crash_reason: str | None = None
         self.down = False
         self.down_reason: str | None = None
+        self._down_depth = 0
         self.outage_log: list[tuple[float, float]] = []  # (down_at, up_at)
         self.faults: "FaultInjector | None" = None
         self.stats = ServiceStats()
@@ -303,7 +304,14 @@ class Service:
         New connections are refused while down; requests already
         admitted keep running, like a daemon wedged behind its accept
         loop.  :meth:`restore` brings the service back.
+
+        Outages are *depth-counted*: independent controllers (a fault
+        schedule and scenario churn, say) may overlap, and the service
+        only comes back once every outstanding :meth:`fail` has been
+        matched by a :meth:`restore` — the first restore must not revive
+        a server another controller still holds down.
         """
+        self._down_depth += 1
         if self.down:
             return
         self.down = True
@@ -311,8 +319,11 @@ class Service:
         self._down_at = self.sim.now
 
     def restore(self) -> None:
-        """Bring a :meth:`fail`-ed service back up (the restart)."""
+        """Undo one :meth:`fail`; the service revives at depth zero."""
         if not self.down:
+            return
+        self._down_depth -= 1
+        if self._down_depth > 0:
             return
         self.down = False
         self.down_reason = None
@@ -374,6 +385,14 @@ class Service:
             stats.completed += 1
             return response
         except ServiceCrashError:
+            stats.errors += 1
+            raise
+        except (ServiceUnavailableError, RequestTimeoutError):
+            # An upstream dependency refused or timed out mid-handler
+            # (mediator chains during faults or churn): the admitted
+            # connection still terminates, so account it — conservation
+            # (arrived == refused+completed+errors+dropped+open) is a
+            # fuzzer invariant.
             stats.errors += 1
             raise
         except SimulationError:

@@ -1,0 +1,28 @@
+"""Replay the committed fuzz corpus (minimized repros of fixed bugs).
+
+Every file in ``tests/fuzz_corpus/`` is a fuzz case that once violated
+a metamorphic invariant (see docs/SCENARIOS.md for the blessing
+workflow).  Replaying them green pins the fixes; a regression turns
+back into the original violation report.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.scenario.fuzz import check_case, load_case
+
+CORPUS = sorted((Path(__file__).resolve().parents[1] / "fuzz_corpus").glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS) >= 2, "the committed fuzz corpus went missing"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_case_replays_green(path):
+    case = load_case(path)
+    result = check_case(case)
+    assert result.ok, (
+        f"{path.name} regressed ({case.label}):\n  " + "\n  ".join(result.violations)
+    )

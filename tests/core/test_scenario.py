@@ -1,0 +1,313 @@
+"""Tests for the declarative scenario plane (model, codec, DES install)."""
+
+import pytest
+
+from repro.core.experiments import exp1
+from repro.core.experiments.scenarios import (
+    NAMED_SCENARIOS,
+    run_scenario_point,
+    resolve_scenario,
+)
+from repro.core.params import WorkloadParams
+from repro.core.runner import new_run
+from repro.core.scenario import codec
+from repro.core.scenario.model import (
+    ArrivalModel,
+    ChurnModel,
+    MixComponent,
+    Scenario,
+    ScenarioError,
+    WanWeather,
+)
+from repro.sim.faults import CrashRestartSchedule, FaultPlan
+from repro.sim.randomness import RngHub
+from repro.sim.rpc import Service
+
+
+class TestArrivalModel:
+    def test_diurnal_oscillates_around_one(self):
+        model = ArrivalModel(kind="diurnal", period=10.0, amplitude=0.5).validate()
+        assert model.rate(0.0) == pytest.approx(1.0)
+        assert model.rate(2.5) == pytest.approx(1.5)
+        assert model.rate(7.5) == pytest.approx(0.5)
+
+    def test_flash_ramps_holds_decays(self):
+        model = ArrivalModel(
+            kind="flash", at=10.0, duration=10.0, peak=4.0, ramp=0.2
+        ).validate()
+        assert model.rate(9.9) == 1.0
+        assert model.rate(21.0) == 1.0
+        assert model.rate(11.0) == pytest.approx(2.5)  # halfway up the ramp
+        assert model.rate(15.0) == pytest.approx(4.0)  # plateau
+        assert model.rate(19.0) == pytest.approx(2.5)  # halfway down
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ScenarioError):
+            ArrivalModel(kind="lunar").validate()
+        with pytest.raises(ScenarioError):
+            ArrivalModel(kind="diurnal", amplitude=1.0).validate()
+        with pytest.raises(ScenarioError):
+            ArrivalModel(kind="flash", duration=5.0, peak=0.5).validate()
+        with pytest.raises(ScenarioError):
+            ArrivalModel(kind="flash", duration=5.0, ramp=0.6).validate()
+
+
+class TestScenarioModel:
+    def test_rate_factor_multiplies_and_floors(self):
+        scenario = Scenario(
+            name="s",
+            arrivals=(
+                ArrivalModel(kind="diurnal", period=10.0, amplitude=0.9),
+                ArrivalModel(kind="diurnal", period=10.0, amplitude=0.9),
+            ),
+        )
+        # Both sinusoids trough together at t=7.5: 0.1 * 0.1 floors at 0.05.
+        assert scenario.rate_factor(7.5) == pytest.approx(0.05)
+        assert scenario.think_scale(7.5) == pytest.approx(20.0)
+
+    def test_mix_fractions_must_sum_to_one(self):
+        bad = Scenario(
+            name="s",
+            mix=(MixComponent(0.5), MixComponent(0.3)),
+        )
+        with pytest.raises(ScenarioError, match="sum to 1"):
+            bad.validate()
+
+    def test_partition_largest_remainder(self):
+        scenario = Scenario(
+            name="s",
+            mix=(
+                MixComponent(0.5, "constant"),
+                MixComponent(0.3, "exponential"),
+                MixComponent(0.2, "pareto"),
+            ),
+        ).validate()
+        counts = [count for count, _ in scenario.partition(7)]
+        assert sum(counts) == 7
+        assert counts == [4, 2, 1]  # 3.5 -> 4, 2.1 -> 2, 1.4 -> 1
+
+    def test_effective_workload_scales_think_time(self):
+        base = WorkloadParams(think_time=1.0)
+        scenario = Scenario(
+            name="s",
+            arrivals=(ArrivalModel(kind="flash", at=0.0, duration=100.0, peak=3.0),),
+        ).validate()
+        eff = scenario.effective_workload(base, 0.0, 100.0)
+        # Window-mean factor is ~3 on the plateau (ramps pull it down).
+        assert 0.33 < eff.think_time < 0.45
+
+    def test_cohort_tier_rejects_heterogeneous_patterns(self):
+        base = WorkloadParams()
+        scenario = NAMED_SCENARIOS["client-mix"]()
+        with pytest.raises(ScenarioError, match="cohort"):
+            scenario.effective_workload(base, 0.0, 10.0, tier="cohort")
+        # The mean-field tier takes the population-weighted mean instead.
+        eff = scenario.effective_workload(base, 0.0, 10.0, tier="meanfield")
+        assert eff.think_time == pytest.approx(base.think_time)
+
+    def test_churn_events_windowed_and_deterministic(self):
+        model = ChurnModel(session_time=3.0, downtime=2.0, start=5.0, end=20.0)
+        hub = RngHub(9)
+        events = model.events(
+            ["a", "b"], 60.0, lambda n: hub.stream("churn", n)
+        )
+        again = model.events(["a", "b"], 60.0, lambda n: hub.stream("churn", n))
+        assert events == again
+        assert events, "expected at least one churn event with 3s sessions"
+        assert all(5.0 <= e.leave < 20.0 for e in events)
+        assert all(e.rejoin > e.leave for e in events)
+
+    def test_churn_targets_filter_nodes(self):
+        model = ChurnModel(session_time=2.0, targets=("b",))
+        hub = RngHub(9)
+        events = model.events(["a", "b"], 30.0, lambda n: hub.stream("c", n))
+        assert events and all(e.node == "b" for e in events)
+
+    def test_wan_draw_is_disjoint_and_jittered(self):
+        weather = WanWeather(rate=0.5, mean_duration=2.0, loss=0.1)
+        episodes = weather.draw(100.0, RngHub(4).stream("wan"))
+        assert episodes
+        for first, second in zip(episodes, episodes[1:]):
+            assert first.end <= second.start
+        assert all(0.0 <= e.loss < 1.0 for e in episodes)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("name", sorted(NAMED_SCENARIOS))
+    def test_named_scenarios_round_trip(self, name):
+        scenario = NAMED_SCENARIOS[name]()
+        assert codec.loads(codec.dumps(scenario)) == scenario
+
+    def test_dumps_omits_defaults(self):
+        text = codec.dumps(Scenario(name="bare"))
+        assert text == '{\n  "name": "bare"\n}\n'
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown"):
+            codec.loads('{"name": "x", "surprise": 1}')
+        with pytest.raises(ScenarioError, match="unknown"):
+            codec.loads('{"name": "x", "churn": {"sessions": 3}}')
+
+    def test_arrival_fields_checked_per_kind(self):
+        with pytest.raises(ScenarioError):
+            codec.loads(
+                '{"name": "x", "arrivals": [{"kind": "diurnal", "peak": 2.0}]}'
+            )
+
+    def test_resolve_scenario_errors_on_unknown_name(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            resolve_scenario("no-such-scenario")
+
+
+class TestDepthCountedOutage:
+    def _service(self):
+        from repro.sim.rpc import Response
+
+        run = new_run(seed=1)
+
+        def gen_handler(service, request):
+            yield service.sim.timeout(0.01)
+            return Response(value={}, size=64)
+
+        svc = Service(
+            run.sim, run.net, run.testbed.lucky["lucky0"], "svc", gen_handler
+        )
+        return run, svc
+
+    def test_overlapping_controllers_do_not_double_restore(self):
+        run, svc = self._service()
+        svc.fail("churn")  # controller A
+        svc.fail("crash")  # controller B overlaps
+        svc.restore()  # A's rejoin: B still holds the service down
+        assert svc.down
+        svc.restore()  # B's restart: now it revives
+        assert not svc.down
+        assert len(svc.outage_log) == 1
+
+    def test_restore_without_fail_is_a_noop(self):
+        run, svc = self._service()
+        svc.restore()
+        assert not svc.down
+        svc.fail("x")
+        svc.restore()
+        assert not svc.down and len(svc.outage_log) == 1
+
+
+class TestScenarioPoints:
+    def test_empty_scenario_is_byte_identical_to_plain_run(self):
+        plain = exp1.run_point("mds-gris-cache", 25, seed=7, warmup=4, window=12)
+        under = run_scenario_point(
+            "mds-gris-cache", Scenario(name="empty"), 25, seed=7, warmup=4, window=12
+        )
+        assert under.result == plain
+
+    def test_fast_tier_rejects_environment_scenarios(self):
+        with pytest.raises(ScenarioError, match="exact"):
+            run_scenario_point(
+                "mds-gris-cache",
+                "churn-diurnal",
+                10,
+                warmup=4,
+                window=8,
+                fidelity="meanfield",
+            )
+
+    def test_fast_tier_accepts_arrival_only_scenarios(self):
+        point = run_scenario_point(
+            "mds-gris-cache", "flash-crowd", 20, warmup=4, window=12,
+            fidelity="meanfield",
+        )
+        assert point.audit is None
+        assert point.result.throughput > 0
+
+    def test_wan_weather_loses_messages(self):
+        point = run_scenario_point(
+            "rgma-registry-uc",
+            Scenario(
+                name="stormy",
+                wan=WanWeather(rate=0.2, mean_duration=5.0, loss=0.3),
+            ),
+            20,
+            seed=5,
+            warmup=4,
+            window=20,
+        )
+        assert point.audit is not None
+        assert point.audit.wan_episodes > 0
+        assert point.audit.messages_lost > 0
+
+    def test_churn_drives_directory_traffic(self):
+        point = run_scenario_point(
+            "rgma-registry-uc",
+            Scenario(
+                name="churny",
+                churn=ChurnModel(session_time=5.0, downtime=2.0, start=2.0, end=14.0),
+            ),
+            10,
+            seed=3,
+            warmup=4,
+            window=20,
+        )
+        audit = point.audit
+        assert audit is not None
+        assert audit.churn_leaves > 0
+        assert audit.directory_unregisters > 0
+        assert audit.directory_registers <= audit.directory_unregisters
+        for name, svc in audit.services.items():
+            assert svc.arrived == svc.accounted, name
+
+
+class TestChurnCrashComposition:
+    """Scenario churn overlapping a scheduled crash window (satellite)."""
+
+    def _run(self):
+        scenario = Scenario(
+            name="churn-under-crash",
+            seed=5,
+            churn=ChurnModel(
+                session_time=2.0, downtime=3.0, start=1.0, end=22.0,
+                targets=("giis",),
+            ),
+        )
+        faults = FaultPlan(
+            schedule=CrashRestartSchedule.single(4.0, 14.0), reason="scheduled crash"
+        )
+        return scenario, run_scenario_point(
+            "mds-registration",
+            scenario,
+            8,
+            seed=2,
+            warmup=4,
+            window=26,
+            faults=faults,
+        )
+
+    def test_overlap_exists_and_no_double_free(self):
+        scenario, point = self._run()
+        audit = point.audit
+        assert audit is not None
+        assert audit.churn_leaves >= 2, "expected several 2s-session churn events"
+
+        # Recompute the churn timeline from the same named streams the run
+        # used and require a genuine overlap with the [4, 18] crash window.
+        hub = RngHub(2)
+        events = scenario.churn.events(
+            ["giis"],
+            30.0,
+            lambda node: hub.stream(
+                "scenario", scenario.name, str(scenario.seed), "churn", node
+            ),
+        )
+        assert any(e.leave < 18.0 and e.rejoin > 4.0 for e in events), (
+            "test setup no longer overlaps the crash window; adjust the seed"
+        )
+
+        # Conservation and capacity hold on every service, and once both
+        # controllers released the GIIS it must be up again (no lost
+        # restore, no premature revive leaking a negative depth).
+        for name, svc in audit.services.items():
+            assert svc.arrived == svc.accounted, name
+            assert svc.max_concurrent <= svc.capacity, name
+        if audit.churn_rejoins == audit.churn_leaves:
+            assert not any(s.down_at_end for s in audit.services.values())
+        assert audit.client_ok > 0
