@@ -1,0 +1,234 @@
+"""Queries/sec across the three query planes: compiled vs interpreted.
+
+Measures each plane (LDAP subtree search, SQL SELECT, ClassAd collector
+constraint query) on both executor paths:
+
+* ``*_interpreted_scan`` — the legacy interpreted path (the
+  differential oracle): parse per query, tree/row/pool scan;
+* ``*_compiled_cold`` — compiled closures with the compile caches
+  cleared per query (isolates compilation overhead; indexes stay warm);
+* ``*_compiled_warm`` — the steady state the simulation actually runs
+  in: warm compile caches plus index pruning.
+
+The final test gates the tentpole claim: warm compiled queries/sec must
+be at least 3x the interpreted rate on at least two of the three
+planes.  Records land in ``benchmarks/results/bench_query.json`` and
+are baselined/gated like every other bench module (docs/BENCHMARKS.md).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.classad import AdCollector, ClassAd, Evaluation, evaluate, parse_expr
+from repro.ldap import DIT, Entry
+from repro.ldap.compile import compile_filter, compile_text
+from repro.relational import Database
+from repro.relational.sqlparser import _parse_memo
+
+_REPEATS = 3
+
+# plane -> warm-compiled speedup over interpreted, filled as tests run
+# and judged by test_speedup_gate at the end of the module.
+_SPEEDUPS: dict[str, float] = {}
+
+
+def _measure(session, name: str, fn, queries: int, config: dict) -> float:
+    """Best queries/sec over ``_REPEATS`` runs; records each round."""
+    best = 0.0
+    for _ in range(_REPEATS):
+        start = perf_counter()
+        fn()
+        wall = perf_counter() - start
+        session.record(name, wall, config=config, events=queries)
+        if wall > 0:
+            best = max(best, queries / wall)
+    return best
+
+
+# -- LDAP --------------------------------------------------------------------
+
+_OSES = ("Linux", "SunOS", "Irix", "AIX", "FreeBSD")
+
+
+def _ldap_fixture() -> tuple[DIT, list[str]]:
+    dit = DIT()
+    dit.add(Entry("o=grid", {"objectclass": "organization"}))
+    dit.add(Entry("Mds-Vo-name=local, o=grid", {"objectclass": "MdsVo"}))
+    rng = np.random.default_rng(1)
+    for i in range(150):
+        dn = f"Mds-Host-hn=host{i}.mcs.anl.gov, Mds-Vo-name=local, o=grid"
+        dit.add(
+            Entry(
+                dn,
+                {
+                    "objectclass": "MdsHost",
+                    "Mds-Os-name": _OSES[i % len(_OSES)],
+                    "Mds-Cpu-Free": str(int(rng.integers(0, 100))),
+                },
+            )
+        )
+        dit.add(
+            Entry(
+                f"Mds-Device-name=cpu, {dn}",
+                {"objectclass": "MdsDevice", "Mds-Cpu-speedMHz": "866"},
+            )
+        )
+    filters = [f"(&(objectclass=MdsHost)(Mds-Os-name={os}))" for os in _OSES]
+    filters += [f"(Mds-Cpu-Free={v})" for v in ("7", "25", "50", "75", "99")]
+    return dit, filters
+
+
+def test_ldap_plane(benchjson):
+    dit, filters = _ldap_fixture()
+    queries = 20 * len(filters)
+
+    def run(compiled: bool, cold: bool = False) -> int:
+        hits = 0
+        for round_ in range(20):
+            for text in filters:
+                if cold:
+                    compile_text.cache_clear()
+                    compile_filter.cache_clear()
+                hits += len(dit.search("o=grid", filter=text, compiled=compiled))
+        return hits
+
+    config = {"entries": len(dit), "distinct_filters": len(filters), "queries": queries}
+    interp = _measure(benchjson, "ldap_interpreted_scan", lambda: run(False), queries, config)
+    run(True)  # build the lazy indexes outside the timed region
+    _measure(benchjson, "ldap_compiled_cold", lambda: run(True, cold=True), queries, config)
+    warm = _measure(benchjson, "ldap_compiled_warm", lambda: run(True), queries, config)
+    assert run(True) == run(False) > 0
+    _SPEEDUPS["ldap"] = warm / interp
+
+
+# -- SQL ---------------------------------------------------------------------
+
+
+def _sql_fixture() -> tuple[Database, list[str]]:
+    db = Database()
+    db.execute(
+        "CREATE TABLE cpuLoad (host VARCHAR(64), load1 REAL, cpus INT, site VARCHAR(16))"
+    )
+    table = db.table("cpuLoad")
+    rng = np.random.default_rng(2)
+    sites = ("anl", "uc", "isi", "ncsa")
+    for i in range(400):
+        table.insert(
+            (
+                f"host{i}",
+                round(float(rng.random()) * 4, 3),
+                int(rng.integers(1, 9)),
+                sites[int(rng.integers(0, len(sites)))],
+            )
+        )
+    table.create_index("site")
+    table.create_sorted_index("load1")
+    table.create_sorted_index("cpus")
+    statements = [
+        "SELECT host, load1 FROM cpuLoad WHERE load1 > 3.8",
+        "SELECT host FROM cpuLoad WHERE load1 < 0.2",
+        "SELECT * FROM cpuLoad WHERE load1 >= 3.9 AND cpus >= 4",
+        "SELECT host FROM cpuLoad WHERE cpus > 7",
+        "SELECT host FROM cpuLoad WHERE site = 'anl' AND load1 > 3.5",
+        "SELECT COUNT(*) FROM cpuLoad WHERE load1 > 3.7 AND site = 'uc'",
+    ]
+    return db, statements
+
+
+def test_sql_plane(benchjson):
+    db, statements = _sql_fixture()
+    table = db.table("cpuLoad")
+    queries = 40 * len(statements)
+
+    def run(compiled: bool, cold: bool = False) -> int:
+        from repro import queryplane
+
+        rows = 0
+        previous = queryplane.set_compiled(compiled)
+        try:
+            for _ in range(40):
+                for sql in statements:
+                    if cold:
+                        _parse_memo.cache_clear()
+                        table._compiled_where.clear()
+                    rows += len(db.query(sql))
+        finally:
+            queryplane.set_compiled(previous)
+        return rows
+
+    config = {"rows": len(table), "distinct_statements": len(statements), "queries": queries}
+    interp = _measure(benchjson, "sql_interpreted_scan", lambda: run(False), queries, config)
+    _measure(benchjson, "sql_compiled_cold", lambda: run(True, cold=True), queries, config)
+    warm = _measure(benchjson, "sql_compiled_warm", lambda: run(True), queries, config)
+    assert run(True) == run(False) > 0
+    _SPEEDUPS["sql"] = warm / interp
+
+
+# -- ClassAd -----------------------------------------------------------------
+
+
+def _classad_fixture() -> tuple[AdCollector, list[str]]:
+    collector = AdCollector(indexed_attrs=("Name", "Machine"))
+    rng = np.random.default_rng(3)
+    for i in range(400):
+        collector.advertise(
+            ClassAd(
+                {
+                    "Name": f"slot{i}",
+                    "Machine": f"m{i % 20}",
+                    "CpuLoad": round(float(rng.random()) * 2, 3),
+                    "Cpus": int(rng.integers(1, 5)),
+                }
+            )
+        )
+    constraints = [f'Machine == "m{k}" && CpuLoad > 0.3' for k in range(20)]
+    return collector, constraints
+
+
+def test_classad_plane(benchjson):
+    collector, constraints = _classad_fixture()
+    queries = 5 * len(constraints)
+
+    def run(compiled: bool) -> int:
+        hits = 0
+        for _ in range(5):
+            for constraint in constraints:
+                hits += len(collector.query(constraint, compiled=compiled).ads)
+        return hits
+
+    config = {"ads": len(collector), "distinct_constraints": len(constraints), "queries": queries}
+    interp = _measure(
+        benchjson, "classad_interpreted_scan", lambda: run(False), queries, config
+    )
+    warm = _measure(benchjson, "classad_compiled_pruned", lambda: run(True), queries, config)
+    assert run(True) == run(False) > 0
+    _SPEEDUPS["classad"] = warm / interp
+
+    # Steady-state expression evaluation: one parsed Requirements tree
+    # evaluated repeatedly — the warm per-node compile-cache case.
+    ad = ClassAd({"Memory": 512, "OpSys": "LINUX", "CpuLoad": 0.4, "Disk": 10_000})
+    expr = parse_expr('OpSys == "LINUX" && Memory >= 256 && (CpuLoad < 0.5 || Disk > 50000)')
+    evals = 4_000
+
+    def run_eval(compiled: bool) -> int:
+        hits = 0
+        for _ in range(evals):
+            if evaluate(expr, ctx=Evaluation(my=ad), compiled=compiled) is True:
+                hits += 1
+        return hits
+
+    eval_config = {"evals": evals}
+    _measure(benchjson, "classad_eval_interpreted", lambda: run_eval(False), evals, eval_config)
+    _measure(benchjson, "classad_eval_compiled_warm", lambda: run_eval(True), evals, eval_config)
+    assert run_eval(True) == run_eval(False) == evals
+
+
+def test_speedup_gate():
+    """Tentpole acceptance: >=3x warm-compiled queries/sec on >=2 planes."""
+    assert set(_SPEEDUPS) == {"ldap", "sql", "classad"}
+    fast_planes = [plane for plane, ratio in _SPEEDUPS.items() if ratio >= 3.0]
+    summary = ", ".join(f"{p}={r:.1f}x" for p, r in sorted(_SPEEDUPS.items()))
+    assert len(fast_planes) >= 2, f"compiled speedups below target: {summary}"

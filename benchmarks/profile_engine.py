@@ -11,7 +11,11 @@ workloads that dominate experiment wall time —
   background advertisement churn;
 * ``cohort_1e5`` — the cohort fast tier stepping 100k GRIS clients in
   numpy epochs (docs/FIDELITY.md): vectorized admission, station
-  chains and the thread-gate heap rather than the per-event loop —
+  chains and the thread-gate heap rather than the per-event loop;
+* ``query_planes`` — a compiled-path query batch across the three
+  query planes (LDAP subtree search, SQL SELECT, ClassAd collector
+  constraints; docs/QUERYPLANE.md): filter/WHERE/constraint closures,
+  index pruning and the compile caches —
 
 and reports wall time, simulated events, events/sec and µs/event
 (best of ``--repeat``).  ``--profile`` adds a cProfile breakdown of
@@ -48,12 +52,52 @@ from repro.core.experiments import exp1, exp4  # noqa: E402
 # results-full/, gated against baselines-full/).
 FAST = dict(warmup=BENCH_WARMUP, window=BENCH_WINDOW)
 
+# Enough query rounds that closure evaluation and index pruning — not
+# the one-time fixture build — dominate the profiled region.
+_QUERY_ROUNDS = 60
+
+
+class _QueryBatch:
+    """PointResult-shaped shim so query batches record events/sec."""
+
+    class _Summary:
+        throughput = 0.0
+        latency_p50 = 0.0
+        latency_p95 = 0.0
+
+    def __init__(self, queries: int) -> None:
+        self.sim_events = queries
+        self.summary = self._Summary()
+
+
+def run_query_planes(rounds: int = _QUERY_ROUNDS) -> _QueryBatch:
+    """One compiled-path query batch per plane (fixtures from bench_query)."""
+    from benchmarks.bench_query import _classad_fixture, _ldap_fixture, _sql_fixture
+    from repro import queryplane
+
+    dit, filters = _ldap_fixture()
+    db, statements = _sql_fixture()
+    collector, constraints = _classad_fixture()
+    queries = 0
+    with queryplane.compiled():
+        for _ in range(rounds):
+            for text in filters:
+                dit.search("o=grid", filter=text)
+            for sql in statements:
+                db.query(sql)
+            for constraint in constraints:
+                collector.query(constraint)
+            queries += len(filters) + len(statements) + len(constraints)
+    return _QueryBatch(queries)
+
+
 WORKLOADS = {
     "exp1_600": lambda: exp1.run_point("mds-gris-cache", 600, seed=1, **FAST),
     "exp4_1000": lambda: exp4.run_point("hawkeye-manager", 1000, seed=1, **FAST),
     "cohort_1e5": lambda: exp1.run_point(
         "mds-gris-cache", 100_000, seed=1, fidelity="cohort", **FAST
     ),
+    "query_planes": run_query_planes,
 }
 CONFIGS = {
     "exp1_600": {"system": "mds-gris-cache", "users": 600, **FAST},
@@ -61,6 +105,7 @@ CONFIGS = {
     "cohort_1e5": {
         "system": "mds-gris-cache", "users": 100_000, "fidelity": "cohort", **FAST
     },
+    "query_planes": {"rounds": _QUERY_ROUNDS, "planes": ["ldap", "sql", "classad"]},
 }
 
 

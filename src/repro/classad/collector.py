@@ -16,6 +16,7 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass
 
+from repro import queryplane
 from repro.classad.ads import ClassAd
 from repro.classad.matchmaker import match_pool
 from repro.classad.parser import parse_expr
@@ -24,6 +25,11 @@ from repro.classad.values import is_scalar
 __all__ = ["AdCollector", "QueryOutcome"]
 
 DEFAULT_LIFETIME = 900.0  # Condor's classad lifetime: 15 minutes
+
+# Attributes the synthetic query ad itself carries: an unscoped reference
+# to one of these resolves in MY (the query) rather than the candidate,
+# so conjuncts over them must never prune by index.
+_QUERY_AD_ATTRS = frozenset({"mytype", "requirements"})
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,11 @@ class AdCollector:
         self._expiry: dict[str, float] = {}
         self._indexed = tuple(a.lower() for a in indexed_attrs)
         self._index: dict[tuple[str, _t.Any], set[str]] = {}
+        # First-advertise sequence per key: pruned query paths sort their
+        # candidates by it so result order matches the insertion-ordered
+        # full scan (re-advertising keeps the original slot, like dicts).
+        self._seq: dict[str, int] = {}
+        self._seq_next = 0
         self.updates = 0
         self.expired_total = 0
 
@@ -59,6 +70,9 @@ class AdCollector:
         self._ads[key] = ad
         self._expiry[key] = now + lifetime
         self._reindex(key, ad)
+        if key not in self._seq:
+            self._seq[key] = self._seq_next
+            self._seq_next += 1
         self.updates += 1
         return key
 
@@ -69,6 +83,7 @@ class AdCollector:
         if ad is None:
             return False
         self._expiry.pop(key, None)
+        self._seq.pop(key, None)
         self._unindex(key, ad)
         return True
 
@@ -114,24 +129,37 @@ class AdCollector:
             return [self._ads[k] for k in sorted(keys)]
         return [ad for ad in self._ads.values() if _norm(ad.get_scalar(attr)) == _norm(value)]
 
-    def query(self, constraint: str) -> QueryOutcome:
+    def query(self, constraint: str, *, compiled: bool | None = None) -> QueryOutcome:
         """Return ads satisfying ``constraint`` (a ClassAd boolean expr).
 
         Simple ``Attr == "value"`` constraints on indexed attributes take
-        the index path; everything else performs a full matchmaking scan
+        the index path.  On the compiled path, conjunctive constraints
+        containing an indexed ``Attr == literal`` term prune the
+        matchmaking scan to that term's bucket (candidates still run the
+        full bilateral match).  Everything else performs a full scan
         whose cost is reported in the outcome.
         """
         indexed = self._try_index_path(constraint)
         if indexed is not None:
             return QueryOutcome(ads=indexed, scanned=len(indexed), ops=len(indexed), index_hit=True)
+        pool: _t.Iterable[ClassAd] = self._ads.values()
+        scanned = len(self._ads)
+        pruned = False
+        if queryplane.resolve(compiled):
+            candidate_keys = self._conjunct_candidates(constraint)
+            if candidate_keys is not None:
+                ordered = sorted(candidate_keys, key=self._seq.__getitem__)
+                pool = [self._ads[k] for k in ordered]
+                scanned = len(ordered)
+                pruned = True
         request = ClassAd({"MyType": "Query"})
         request.set_expr("Requirements", constraint)
-        matches, ops = match_pool(request, self._ads.values())
+        matches, ops = match_pool(request, pool)
         return QueryOutcome(
             ads=[ad for _rank, ad in matches],
-            scanned=len(self._ads),
+            scanned=scanned,
             ops=ops,
-            index_hit=False,
+            index_hit=pruned,
         )
 
     def _try_index_path(self, constraint: str) -> list[ClassAd] | None:
@@ -151,6 +179,48 @@ class AdCollector:
         ):
             return self.lookup_equal(expr.left.name, expr.right.value)
         return None
+
+    def _conjunct_candidates(self, constraint: str) -> set[str] | None:
+        """Smallest index bucket for an indexed ``Attr == literal`` term
+        in the constraint's top-level ``&&`` chain, or None.
+
+        Sound because an ad outside the bucket makes that conjunct
+        FALSE/UNDEFINED/ERROR, so the whole conjunction cannot be TRUE —
+        assuming indexed attributes are literal-valued in the resident
+        ads, the documented collector indexing contract.
+        """
+        from repro.classad.ast import AttrRef, BinaryOp, Literal
+
+        try:
+            expr = parse_expr(constraint)
+        except Exception:
+            return None
+        best: set[str] | None = None
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BinaryOp) and node.op == "&&":
+                stack.append(node.left)
+                stack.append(node.right)
+                continue
+            if not (isinstance(node, BinaryOp) and node.op == "=="):
+                continue
+            left, right = node.left, node.right
+            if isinstance(left, Literal) and isinstance(right, AttrRef):
+                left, right = right, left
+            if not (isinstance(left, AttrRef) and isinstance(right, Literal)):
+                continue
+            if left.scope == "my":  # resolves in the query ad, not candidates
+                continue
+            attr = left.name.lower()
+            if attr not in self._indexed or attr in _QUERY_AD_ATTRS:
+                continue
+            if not is_scalar(right.value) or right.value is None:
+                continue
+            bucket = self._index.get((attr, _norm(right.value)), set())
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        return None if best is None else set(best)
 
 
 def _norm(value: _t.Any) -> _t.Any:

@@ -21,6 +21,7 @@ import math
 import typing as _t
 from dataclasses import dataclass, field
 
+from repro import queryplane
 from repro.classad.ast import AttrRef, BinaryOp, Expr, FuncCall, Literal, UnaryOp
 from repro.classad.values import ERROR, UNDEFINED, Error, Undefined, Value
 
@@ -45,10 +46,21 @@ def evaluate(
     my: "ClassAd | None" = None,
     target: "ClassAd | None" = None,
     ctx: Evaluation | None = None,
+    compiled: bool | None = None,
 ) -> Value:
-    """Evaluate ``expr`` with the given MY/TARGET ads; returns a Value."""
+    """Evaluate ``expr`` with the given MY/TARGET ads; returns a Value.
+
+    The compiled path (:mod:`repro.classad.compile`, selected via
+    :mod:`repro.queryplane` or the ``compiled`` override) returns the
+    same value *and* the same ``ctx.ops`` count as this interpreter —
+    the op count feeds the cost models, so parity is load-bearing.
+    """
     if ctx is None:
         ctx = Evaluation(my=my, target=target)
+    if queryplane.resolve(compiled):
+        from repro.classad.compile import compile_expr
+
+        return compile_expr(expr)(ctx)
     return _eval(expr, ctx)
 
 
@@ -260,6 +272,15 @@ def _eval_func(node: FuncCall, ctx: Evaluation) -> Value:
             return UNDEFINED
         return _eval(node.args[1] if cond else node.args[2], ctx)
     args = [_eval(a, ctx) for a in node.args]
+    return _apply_builtin(name, args)
+
+
+def _apply_builtin(name: str, args: list[Value]) -> Value:
+    """Apply an eager builtin to already-evaluated arguments.
+
+    Shared with the compiled closures in :mod:`repro.classad.compile`;
+    ``ifthenelse`` stays in the callers because it is lazy.
+    """
     if name == "isundefined":
         return len(args) == 1 and isinstance(args[0], Undefined)
     if name == "iserror":

@@ -39,9 +39,15 @@ class ManagerAnswer:
 class Manager:
     """Pool manager: ad collection, queries, agent directory, triggers."""
 
-    def __init__(self, name: str, *, ad_lifetime: float = 900.0) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        ad_lifetime: float = 900.0,
+        indexed_attrs: tuple[str, ...] = ("Name", "Machine"),
+    ) -> None:
         self.name = name
-        self.collector = AdCollector(indexed_attrs=("Name", "Machine"))
+        self.collector = AdCollector(indexed_attrs=indexed_attrs)
         self.ad_lifetime = ad_lifetime
         self.triggers = TriggerEngine()
         self._agents: dict[str, Agent] = {}

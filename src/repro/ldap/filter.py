@@ -98,14 +98,21 @@ class Equality(Filter):
     attr: str
     value: str
 
+    def __post_init__(self) -> None:
+        # Parse the comparison value once at construction; these are not
+        # dataclass fields, so equality/hash/repr stay value-based.
+        object.__setattr__(self, "_num", _as_number(self.value))
+        object.__setattr__(self, "_lower", self.value.lower())
+
     def matches(self, entry: Entry) -> bool:
-        want_num = _as_number(self.value)
+        want_num: float | None = self._num  # type: ignore[attr-defined]
+        want_str: str = self._lower  # type: ignore[attr-defined]
         for candidate in entry.get(self.attr):
             if want_num is not None:
                 got = _as_number(candidate)
                 if got is not None and got == want_num:
                     return True
-            if candidate.lower() == self.value.lower():
+            if candidate.lower() == want_str:
                 return True
         return False
 
@@ -135,6 +142,11 @@ class Substring(Filter):
     middles: tuple[str, ...]
     final: str
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_initial_l", self.initial.lower())
+        object.__setattr__(self, "_middles_l", tuple(m.lower() for m in self.middles))
+        object.__setattr__(self, "_final_l", self.final.lower())
+
     def matches(self, entry: Entry) -> bool:
         for candidate in entry.get(self.attr):
             if self._match_one(candidate.lower()):
@@ -143,18 +155,19 @@ class Substring(Filter):
 
     def _match_one(self, text: str) -> bool:
         pos = 0
-        if self.initial:
-            if not text.startswith(self.initial.lower()):
+        initial: str = self._initial_l  # type: ignore[attr-defined]
+        if initial:
+            if not text.startswith(initial):
                 return False
-            pos = len(self.initial)
-        for mid in self.middles:
-            idx = text.find(mid.lower(), pos)
+            pos = len(initial)
+        for mid in self._middles_l:  # type: ignore[attr-defined]
+            idx = text.find(mid, pos)
             if idx < 0:
                 return False
             pos = idx + len(mid)
-        if self.final:
-            tail = self.final.lower()
-            return text.endswith(tail) and len(text) - len(tail) >= pos
+        final: str = self._final_l  # type: ignore[attr-defined]
+        if final:
+            return text.endswith(final) and len(text) - len(final) >= pos
         return True
 
     def __str__(self) -> str:
@@ -171,17 +184,21 @@ class _Ordering(Filter):
     def __init__(self, attr: str, value: str) -> None:
         self.attr = attr
         self.value = value
+        self._num = _as_number(value)
+        self._lower = value.lower()
 
     def matches(self, entry: Entry) -> bool:
-        want_num = _as_number(self.value)
+        want_num = self._num
+        op = type(self).op
+        op_str = type(self).op_str
         for candidate in entry.get(self.attr):
             if want_num is not None:
                 got = _as_number(candidate)
                 if got is not None:
-                    if type(self).op(got, want_num):
+                    if op(got, want_num):
                         return True
                     continue
-            if type(self).op_str(candidate.lower(), self.value.lower()):
+            if op_str(candidate.lower(), self._lower):
                 return True
         return False
 

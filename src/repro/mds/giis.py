@@ -17,7 +17,9 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
+from repro import queryplane
 from repro.errors import RegistryError, ServiceCrashError
+from repro.ldap.compile import compile_filter, compile_text
 from repro.ldap.dit import DIT
 from repro.ldap.entry import Entry
 from repro.ldap.filter import Filter, parse_filter
@@ -154,8 +156,9 @@ class GIIS:
         """
         self._check_alive()
         self.queries += 1
+        use_compiled = queryplane.resolve(None)
         if isinstance(filter, str):
-            filter = parse_filter(filter)
+            filter = compile_text(filter).filter if use_compiled else parse_filter(filter)
         live = self.registrations.alive(now)
         if subset is not None:
             wanted = set(subset)
@@ -194,8 +197,12 @@ class GIIS:
             for entries in fresh.values():
                 for entry in entries:
                     merged.upsert(entry)
+            # The merged DIT is consumed linearly, never searched, so its
+            # lazy indexes are never built; the compiled predicate alone
+            # carries the speedup here.
+            predicate = compile_filter(filter).predicate if use_compiled else filter.matches
             selected = [
-                self._project(e, attributes) for e in merged.entries() if filter.matches(e)
+                self._project(e, attributes) for e in merged.entries() if predicate(e)
             ]
             size = len(to_ldif(selected)) if selected else 64
             memoized = (selected, size)

@@ -1,0 +1,75 @@
+"""Process-wide switch between compiled and interpreted query paths.
+
+All three query planes (:mod:`repro.ldap`, :mod:`repro.relational`,
+:mod:`repro.classad`) compile predicates to closures and prune with
+indexes when this switch is on — the default.  The interpreted path is
+kept bit-for-bit identical to the pre-compilation code and serves as the
+differential-testing oracle (see docs/QUERYPLANE.md).
+
+The default honours the ``REPRO_QUERY_COMPILE`` environment variable
+(``0``/``false``/``off``/``no`` disable compilation) so whole runs —
+figures, plans, benchmarks — can be replayed on either path without
+code changes.  Individual entry points accept a ``compiled`` keyword
+overriding the global for one call.
+"""
+
+from __future__ import annotations
+
+import os
+import typing as _t
+from contextlib import contextmanager
+
+__all__ = [
+    "compiled_default",
+    "resolve",
+    "set_compiled",
+    "interpreted",
+    "compiled",
+]
+
+_FALSEY = ("0", "false", "off", "no")
+
+
+def _env_default() -> bool:
+    return os.environ.get("REPRO_QUERY_COMPILE", "1").strip().lower() not in _FALSEY
+
+
+_compiled: bool = _env_default()
+
+
+def compiled_default() -> bool:
+    """The current process-wide setting."""
+    return _compiled
+
+
+def resolve(override: bool | None) -> bool:
+    """Effective mode for one call: per-call override, else the global."""
+    return _compiled if override is None else bool(override)
+
+
+def set_compiled(flag: bool) -> bool:
+    """Set the global mode; returns the previous value."""
+    global _compiled
+    previous = _compiled
+    _compiled = bool(flag)
+    return previous
+
+
+@contextmanager
+def interpreted() -> _t.Iterator[None]:
+    """Run a block on the interpreted (oracle) path."""
+    previous = set_compiled(False)
+    try:
+        yield
+    finally:
+        set_compiled(previous)
+
+
+@contextmanager
+def compiled() -> _t.Iterator[None]:
+    """Run a block on the compiled path regardless of the global."""
+    previous = set_compiled(True)
+    try:
+        yield
+    finally:
+        set_compiled(previous)

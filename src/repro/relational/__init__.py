@@ -23,7 +23,7 @@ from repro.relational.sqlast import (
     OrderItem,
     SelectStmt,
 )
-from repro.relational.sqlparser import parse_sql
+from repro.relational.sqlparser import parse_sql, parse_sql_cached
 from repro.relational.table import Table
 from repro.relational.types import Column, ColumnType, coerce
 
@@ -34,6 +34,7 @@ __all__ = [
     "ColumnType",
     "coerce",
     "parse_sql",
+    "parse_sql_cached",
     "execute_select",
     "eval_predicate",
     "ResultSet",

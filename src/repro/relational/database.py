@@ -13,7 +13,7 @@ import typing as _t
 from repro.errors import SchemaError
 from repro.relational.executor import ResultSet, execute_select, select_rowids
 from repro.relational.sqlast import CreateTableStmt, DeleteStmt, InsertStmt, SelectStmt
-from repro.relational.sqlparser import Statement, parse_sql
+from repro.relational.sqlparser import Statement, parse_sql_cached
 from repro.relational.table import Table
 from repro.relational.types import Column, ColumnType
 
@@ -58,7 +58,7 @@ class Database:
     # -- execution ------------------------------------------------------------
     def execute(self, sql: str | Statement) -> ResultSet | int:
         """Run one statement; SELECT → ResultSet, others → affected rows."""
-        stmt = parse_sql(sql) if isinstance(sql, str) else sql
+        stmt = parse_sql_cached(sql) if isinstance(sql, str) else sql
         self.statements_executed += 1
         if isinstance(stmt, SelectStmt):
             return execute_select(self.table(stmt.table), stmt)

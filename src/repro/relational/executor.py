@@ -8,11 +8,12 @@ proportional CPU.
 
 from __future__ import annotations
 
-import re
 import typing as _t
 from dataclasses import dataclass
 
+from repro import queryplane
 from repro.errors import SchemaError
+from repro.relational.compile import compare_values, compiled_for, like_regex
 from repro.relational.sqlast import (
     ColumnRef,
     Comparison,
@@ -112,34 +113,13 @@ def _eval_operand(expr: SqlExpr, table: Table, row: tuple[SqlValue, ...]) -> Sql
     raise SchemaError(f"unsupported operand: {type(expr).__name__}")
 
 
-def _compare(op: str, left: SqlValue, right: SqlValue) -> bool:
-    # Numeric comparison when both coerce; else case-insensitive text.
-    a: _t.Any
-    b: _t.Any
-    try:
-        a = float(left)  # type: ignore[arg-type]
-        b = float(right)  # type: ignore[arg-type]
-    except (TypeError, ValueError):
-        a = str(left).lower()
-        b = str(right).lower()
-    if op == "=":
-        return a == b
-    if op == "<>":
-        return a != b
-    if op == "<":
-        return a < b
-    if op == "<=":
-        return a <= b
-    if op == ">":
-        return a > b
-    if op == ">=":
-        return a >= b
-    raise SchemaError(f"unknown comparison operator {op!r}")
+# Comparison semantics live in repro.relational.compile so the compiled
+# closures and this interpreter share one definition.
+_compare = compare_values
 
 
 def _like_match(text: str, pattern: str) -> bool:
-    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-    return re.fullmatch(regex, text, flags=re.IGNORECASE) is not None
+    return like_regex(pattern).fullmatch(text) is not None
 
 
 # -- planning -------------------------------------------------------------
@@ -158,8 +138,65 @@ def _index_candidates(expr: SqlExpr) -> list[tuple[str, SqlValue]]:
     return []
 
 
-def select_rowids(table: Table, where: SqlExpr | None) -> tuple[list[int], int, bool]:
-    """Rowids matching ``where``; returns (ids, rows_examined, index_used)."""
+def _conjuncts(expr: SqlExpr) -> list[SqlExpr]:
+    """Flatten top-level ANDs into their conjunct list."""
+    if isinstance(expr, LogicalOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _prune_candidates(table: Table, where: SqlExpr) -> set[int] | None:
+    """Smallest index-derived candidate set for ``where``, or None.
+
+    Every option over-approximates its conjunct (the compiled predicate
+    re-checks each candidate), so the smallest usable one wins.  Unknown
+    columns in equality conjuncts raise exactly where the interpreted
+    planner would.
+    """
+    options: list[set[int]] = []
+    for column, value in _index_candidates(where):
+        if not options and not table.has_column(column):
+            raise SchemaError(f"no column {column!r} in table {table.name!r}")
+        if not table.has_column(column):
+            break  # the interpreted planner stops at the first usable bucket
+        bucket = table.lookup_index(column, value)
+        if bucket is not None:
+            options.append(bucket)
+    for conjunct in _conjuncts(where):
+        if isinstance(conjunct, InList) and not conjunct.negated and isinstance(conjunct.operand, ColumnRef):
+            column = conjunct.operand.name
+            if table.has_column(column) and table.lookup_index(column, None) is not None:
+                union: set[int] = set()
+                for element in conjunct.values:
+                    if element is not None:
+                        union.update(table.lookup_index(column, element) or ())
+                options.append(union)
+        elif isinstance(conjunct, Comparison) and conjunct.op in ("<", "<=", ">", ">="):
+            op = conjunct.op
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, Constant) and isinstance(right, ColumnRef):
+                # constant <op> column is column <flipped-op> constant
+                left, right = right, left
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+            if not (isinstance(left, ColumnRef) and isinstance(right, Constant)):
+                continue
+            if not table.has_column(left.name):
+                continue
+            try:
+                bound = float(right.value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue  # text bound: lexicographic compare, not range-prunable
+            if bound != bound:
+                continue
+            ranged = table.range_candidates(left.name, op, bound)
+            if ranged is not None:
+                options.append(ranged)
+    if not options:
+        return None
+    return min(options, key=len)
+
+
+def _select_rowids_interpreted(table: Table, where: SqlExpr | None) -> tuple[list[int], int, bool]:
     index_used = False
     if where is not None:
         for column, value in _index_candidates(where):
@@ -186,9 +223,46 @@ def select_rowids(table: Table, where: SqlExpr | None) -> tuple[list[int], int, 
     return hits, examined, index_used
 
 
-def execute_select(table: Table, stmt: SelectStmt) -> ResultSet:
+def select_rowids(
+    table: Table, where: SqlExpr | None, *, compiled: bool | None = None
+) -> tuple[list[int], int, bool]:
+    """Rowids matching ``where``; returns (ids, rows_examined, index_used).
+
+    ``compiled`` overrides the :mod:`repro.queryplane` global: the
+    compiled path prunes with every usable index and evaluates a row
+    closure; the interpreted path is the legacy first-bucket-or-scan
+    planner and serves as the differential oracle.  Both return the same
+    rowids in the same order.
+    """
+    if not queryplane.resolve(compiled):
+        return _select_rowids_interpreted(table, where)
+    candidates: set[int] | None = None
+    index_used = False
+    if where is not None:
+        candidates = _prune_candidates(table, where)
+        index_used = candidates is not None
+    if candidates is None:
+        items: list[tuple[int, tuple[SqlValue, ...]]] = list(table.rows())
+    else:
+        items = [(rowid, table.get_row(rowid)) for rowid in sorted(candidates)]
+    hits = []
+    examined = 0
+    # Compile lazily so empty scans match the interpreter, which never
+    # evaluates (and so never type-checks) the predicate on zero rows.
+    predicate = compiled_for(table, where) if (where is not None and items) else None
+    for rowid, row in items:
+        examined += 1
+        if predicate is None or predicate(row) is _TRUE:
+            hits.append(rowid)
+    table.rows_scanned_total += examined
+    return hits, examined, index_used
+
+
+def execute_select(
+    table: Table, stmt: SelectStmt, *, compiled: bool | None = None
+) -> ResultSet:
     """Run a SELECT against one table."""
-    rowids, examined, index_used = select_rowids(table, stmt.where)
+    rowids, examined, index_used = select_rowids(table, stmt.where, compiled=compiled)
     if stmt.count_star:
         return ResultSet(
             columns=("COUNT(*)",),

@@ -15,7 +15,9 @@ WHERE grammar: OR > AND > NOT > predicates, with comparisons
 from __future__ import annotations
 
 import typing as _t
+from functools import lru_cache
 
+from repro import queryplane
 from repro.errors import SqlSyntaxError
 from repro.relational.sqlast import (
     ColumnRef,
@@ -34,7 +36,7 @@ from repro.relational.sqlast import (
     SqlExpr,
 )
 
-__all__ = ["parse_sql", "Statement"]
+__all__ = ["parse_sql", "parse_sql_cached", "Statement"]
 
 Statement = _t.Union[SelectStmt, InsertStmt, CreateTableStmt, DeleteStmt]
 
@@ -394,3 +396,20 @@ def parse_sql(text: str) -> Statement:
     if not text.strip():
         raise SqlSyntaxError("empty statement")
     return _Parser(text).parse()
+
+
+@lru_cache(maxsize=256)
+def _parse_memo(text: str) -> Statement:
+    return parse_sql(text)
+
+
+def parse_sql_cached(text: str) -> Statement:
+    """LRU-cached :func:`parse_sql` used on the compiled query path.
+
+    Statements are frozen dataclasses over tuples, so sharing the parsed
+    object across callers is safe.  With compilation off this defers to
+    the plain parser so the oracle path stays allocation-identical.
+    """
+    if not queryplane.compiled_default():
+        return parse_sql(text)
+    return _parse_memo(text)

@@ -17,7 +17,7 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from repro.errors import RegistryError, SqlError
-from repro.relational import SelectStmt, parse_sql
+from repro.relational import SelectStmt, parse_sql_cached
 from repro.rgma.producer_servlet import ProducerServlet
 from repro.rgma.registry import Registry
 
@@ -92,7 +92,7 @@ class ConsumerServlet:
     # -- mediation ------------------------------------------------------------
     def query(self, sql: str, *, now: float = 0.0) -> MediatedAnswer:
         """Mediate one SELECT: registry lookup → servlet fan-out → merge."""
-        stmt = parse_sql(sql)
+        stmt = parse_sql_cached(sql)
         if not isinstance(stmt, SelectStmt):
             raise SqlError("consumers may only issue SELECT statements")
         self.queries_mediated += 1

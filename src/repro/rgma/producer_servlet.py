@@ -12,7 +12,7 @@ import typing as _t
 from dataclasses import dataclass
 
 from repro.errors import RegistryError, SqlError
-from repro.relational import Database, ResultSet, SelectStmt, parse_sql
+from repro.relational import Database, ResultSet, SelectStmt, parse_sql_cached
 from repro.rgma.producer import Producer
 from repro.rgma.registry import DEFAULT_LEASE, Registry
 from repro.rgma.schema import GLOBAL_SCHEMA, table_ddl
@@ -115,7 +115,7 @@ class ProducerServlet:
     # -- queries --------------------------------------------------------------
     def answer(self, sql: str | SelectStmt) -> ServletAnswer:
         """Answer one SQL SELECT over the buffered tuples."""
-        stmt = parse_sql(sql) if isinstance(sql, str) else sql
+        stmt = parse_sql_cached(sql) if isinstance(sql, str) else sql
         if not isinstance(stmt, SelectStmt):
             raise SqlError("ProducerServlet answers SELECT statements only")
         if stmt.table not in GLOBAL_SCHEMA:
